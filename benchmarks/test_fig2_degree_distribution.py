@@ -1,0 +1,60 @@
+"""FIG2 — the Robust Soliton degree distribution (paper Fig. 2).
+
+The paper plots the RS pmf for its default code length on log-log axes:
+a heavy degree-1/2 head (> 50 % of the mass, bootstrapping belief
+propagation), a 1/(i(i-1)) body, and a spike at k/R.  This bench
+regenerates the analytic pmf, verifies the properties the paper relies
+on, and checks a sampled stream converges to it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.lt.distributions import RobustSoliton, empirical_degrees, total_variation
+from repro.rng import derive
+
+from conftest import run_once_benchmark
+
+
+def test_fig2_robust_soliton(benchmark, profile, reporter):
+    k = profile.k_default
+
+    def experiment():
+        dist = RobustSoliton(k)
+        rng = derive(0, "fig2", k)
+        samples = dist.sample_many(20_000, rng)
+        empirical = empirical_degrees(samples.tolist(), k)
+        return dist, empirical
+
+    dist, empirical = run_once_benchmark(benchmark, experiment)
+    rep = reporter("fig2_degree_distribution")
+    rep.line(f"k = {k}, spike at k/R = {dist.spike}, beta = {dist.beta:.3f}")
+    rep.line()
+    degrees = [1, 2, 3, 4, dist.spike, min(k, 2 * dist.spike)]
+    rep.table(
+        ["degree", "analytic pmf", "sampled pmf"],
+        [
+            [d, f"{dist.probability(d):.5f}", f"{empirical[d]:.5f}"]
+            for d in degrees
+        ],
+    )
+    rep.line()
+    rep.line(f"mass on degrees 1-2: {dist.low_degree_mass():.3f} "
+             "(paper: more than 50 % of encoded packets)")
+    rep.line(f"mean degree: {dist.mean():.2f} vs log(k) = {math.log(k):.2f} "
+             "(paper: average degree of log k)")
+    tv = total_variation(dist.pmf, empirical)
+    rep.line(f"total variation analytic vs 20k samples: {tv:.4f}")
+    rep.finish()
+
+    # Shape assertions from the paper.
+    assert dist.low_degree_mass() > 0.35
+    assert dist.probability(dist.spike) > dist.probability(dist.spike - 1)
+    assert dist.mean() < 3.0 * math.log(k)
+    assert tv < 0.05
+    # Monotone 1/(i(i-1)) body between the head and the spike.
+    body = dist.pmf[2 : dist.spike]
+    assert np.all(np.diff(body) <= 1e-12)

@@ -1,0 +1,65 @@
+"""FIG7B — average time to complete vs code length (Fig. 7b).
+
+Paper sweep: k in 512..4,096 at N = 1,000.  Expected shape: at every k
+the ordering is RLNC < LTNC << WC, and the LTNC/RLNC gap narrows as k
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import average_completion_time
+
+from conftest import run_once_benchmark
+
+PAPER_NOTE = (
+    "paper (N=1000, k=512..4096): RLNC < LTNC << WC at every k; the "
+    "LTNC overhead relative to RLNC shrinks with k"
+)
+
+
+def test_fig7b_completion_time(benchmark, profile, reporter):
+    n = profile.n_nodes
+    ks = profile.k_sweep
+
+    def experiment():
+        table = {}
+        for scheme in ("wc", "ltnc", "rlnc"):
+            table[scheme] = [
+                average_completion_time(
+                    scheme,
+                    n_nodes=n,
+                    k=k,
+                    monte_carlo=profile.monte_carlo,
+                    seed=71,
+                    source_pushes=profile.source_pushes,
+                    max_rounds=profile.max_rounds,
+                )
+                for k in ks
+            ]
+        return table
+
+    table = run_once_benchmark(benchmark, experiment)
+    rep = reporter("fig7b_completion_time")
+    rep.line(f"N = {n}, binary feedback; gossip periods to completion")
+    rep.line(PAPER_NOTE)
+    rep.line()
+    rep.table(
+        ["k"] + list(table),
+        [
+            [k] + [f"{table[s][i]:.0f}" for s in table]
+            for i, k in enumerate(ks)
+        ],
+    )
+    rep.line()
+    ratios = [table["ltnc"][i] / table["rlnc"][i] for i in range(len(ks))]
+    rep.line(
+        "LTNC/RLNC ratio per k: "
+        + ", ".join(f"{k}: {r:.2f}x" for k, r in zip(ks, ratios))
+    )
+    rep.finish()
+
+    for i in range(len(ks)):
+        assert table["rlnc"][i] < table["ltnc"][i] < table["wc"][i]
+    # The gap to RLNC must shrink with k (allow small non-monotone noise
+    # between adjacent points; compare the ends of the sweep).
+    assert ratios[-1] < ratios[0]

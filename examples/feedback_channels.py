@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Feedback channels: aborting and preventing redundant transfers.
+
+§III-C2 of the paper describes two uses of a feedback channel:
+
+* **binary** — the code vector precedes the payload (packet header),
+  so the receiver can run Algorithm 3 on the header and close the
+  connection before the payload is sent;
+* **full** — the receiver ships its component-leader array (`cc`) to
+  the sender, which then runs Algorithm 4 to construct a degree-1 or
+  degree-2 packet that is *provably* innovative for that receiver.
+
+This example runs the same LTNC dissemination under none / binary /
+full feedback and shows where the bytes go.
+
+Run:  python examples/feedback_channels.py
+"""
+
+from repro.gossip import Feedback, run_dissemination
+
+N, K = 16, 64
+
+
+def main() -> None:
+    print(f"LTNC dissemination, N={N}, k={K}\n")
+    header = (f"{'feedback':<8} {'avg done':>9} {'sessions':>9} "
+              f"{'aborted':>8} {'payloads':>9} {'overhead':>9}")
+    print(header)
+    print("-" * len(header))
+    for mode in (Feedback.NONE, Feedback.BINARY, Feedback.FULL):
+        result = run_dissemination(
+            "ltnc",
+            n_nodes=N,
+            k=K,
+            seed=11,
+            feedback=mode,
+            max_rounds=50_000,
+            node_kwargs={"aggressiveness": 0.01},
+        )
+        print(f"{mode.value:<8} {result.average_completion_round():>9.0f} "
+              f"{result.sessions:>9} {result.aborted:>8} "
+              f"{result.data_transfers:>9} "
+              f"{result.overhead() * 100:>8.1f}%")
+    print(
+        "\nreading the table: binary feedback aborts sessions whose header\n"
+        "fails the redundancy check, cutting shipped payloads; full\n"
+        "feedback additionally steers low-degree packets toward what the\n"
+        "receiver is missing (Algorithm 4), reducing wasted sessions."
+    )
+
+
+if __name__ == "__main__":
+    main()

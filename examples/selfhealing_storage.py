@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Self-healing distributed storage with LTNC repair (§I, §VI).
+
+A 16-node cluster stores a k-block object as LT-encoded packets.  Nodes
+keep failing; each failure destroys the victim's packets, and a
+newcomer repairs by pulling the encoded packets of a few survivors and
+*recoding* fresh LT-structured packets — never decoding the object.
+
+The example contrasts LTNC repair with naive copy-repair over the same
+churn: copies accumulate duplicates and lose the degree structure,
+while LTNC repairs keep the store readable by belief propagation
+indefinitely.
+
+Run:  python examples/selfhealing_storage.py
+"""
+
+import numpy as np
+
+from repro.coding import make_content
+from repro.storage import StorageCluster
+
+K = 32            # object split into k blocks
+M = 64            # bytes per block
+NODES = 16
+SLOTS = 8         # packets per node (3x redundancy for reliable reads)
+CHURN = 48        # fail+repair events (3x the cluster size)
+
+
+def main() -> None:
+    content = make_content(K, M, rng=7)
+    for mode in ("naive", "ltnc"):
+        cluster = StorageCluster(
+            K,
+            NODES,
+            slots_per_node=SLOTS,
+            content=content,
+            repair_mode=mode,
+            rng=7,
+        )
+        print(f"[{mode}] fresh cluster: "
+              f"{cluster.distinct_vectors()} distinct vectors / "
+              f"{len(cluster.stored_packets())} packets")
+        cluster.churn(CHURN)
+        hist = cluster.degree_histogram()
+        low = sum(c for d, c in hist.items() if d <= 2)
+        total = sum(hist.values())
+        reads = [cluster.read_object(rng=np.random.default_rng(100 + i))
+                 for i in range(10)]
+        ok = sum(r.success for r in reads)
+        print(f"[{mode}] after {CHURN} failures+repairs: "
+              f"{cluster.distinct_vectors()} distinct vectors, "
+              f"{low / total:.0%} packets of degree <= 2, "
+              f"reads {ok}/10 successful")
+        if mode == "ltnc":
+            recovered = cluster.read_content()
+            assert np.array_equal(recovered, content)
+            print(f"[{mode}] object recovered bit-for-bit after churn "
+                  f"exceeding {CHURN / NODES:.0f}x the cluster size")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Sensor-network dissemination: the paper's motivating scenario.
+
+A firmware image must reach every node of a large sensor network.
+Sensor CPUs cannot afford Gaussian reduction — the very motivation for
+LTNC (§I) — so this example disseminates the same content under all
+three schemes of the paper's evaluation and reports the trade-off the
+paper's Figures 7-8 capture:
+
+* RLNC converges fastest but decoding costs O(k^2) row operations;
+* WC (no coding) needs no decoding at all but converges far slower;
+* LTNC converges close to RLNC while decoding with cheap belief
+  propagation — the paper's sweet spot for low-power nodes.
+
+Run:  python examples/sensor_dissemination.py
+"""
+
+from repro.costmodel import CycleModel
+from repro.gossip import Feedback, run_dissemination
+
+N_SENSORS = 24     # nodes in the sensor field
+K = 64             # firmware split into k native packets
+M_BYTES = 4096     # packet payload (the cycle model scales data costs)
+
+
+def main() -> None:
+    model = CycleModel(m=M_BYTES)
+    print(f"disseminating k={K} packets to {N_SENSORS} sensors "
+          f"(binary feedback channel)\n")
+    header = f"{'scheme':<6} {'rounds':>7} {'avg done':>9} " \
+             f"{'overhead':>9} {'decode Mcycles/node':>20}"
+    print(header)
+    print("-" * len(header))
+    for scheme in ("wc", "rlnc", "ltnc"):
+        result = run_dissemination(
+            scheme,
+            n_nodes=N_SENSORS,
+            k=K,
+            seed=42,
+            feedback=Feedback.BINARY,
+            max_rounds=50_000,
+            node_kwargs={"aggressiveness": 0.01} if scheme == "ltnc" else None,
+        )
+        decode_cycles = model.breakdown(result.decode_ops).total_cycles
+        print(f"{scheme:<6} {result.rounds:>7} "
+              f"{result.average_completion_round():>9.0f} "
+              f"{result.overhead() * 100:>8.1f}% "
+              f"{decode_cycles / N_SENSORS / 1e6:>20.1f}")
+    print(
+        "\nreading the table: LTNC completes close to RLNC (far ahead of\n"
+        "WC) while its per-node decoding budget stays a fraction of\n"
+        "RLNC's — the trade the paper reports as +20% traffic for -99%\n"
+        "decoding complexity at k=2048."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments where the ``wheel`` package (required by the PEP
+517 editable path of older setuptools) is unavailable: without a
+``[build-system]`` table pip falls back to the legacy
+``setup.py develop`` route, which needs nothing beyond setuptools.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Counterpoint baselines that isolate LTNC's design decisions."""
+
+from repro.baselines.random_recode import RandomRecodeNode
+
+__all__ = ["RandomRecodeNode"]

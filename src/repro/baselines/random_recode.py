@@ -1,0 +1,109 @@
+"""Structure-destroying baseline: random recoding of LT packets.
+
+The scientific crux of the paper is that recoding must *preserve* the
+statistical structure of LT codes for belief propagation to stay
+usable.  Prior art (the paper cites Raptor network video coding [9])
+recodes LT/Raptor packets with random combinations — whereupon "the
+decoder must perform a high complexity Gauss reduction thus loosing
+the benefit of belief propagation" (§V).
+
+:class:`RandomRecodeNode` isolates exactly that failure mode: it is an
+:class:`~repro.core.node.LtncNode` in every respect (same Tanner graph,
+same belief-propagation decoder, same redundancy detection, same
+feedback hooks) except that :meth:`make_packet` XORs a uniformly random
+subset of the held packets instead of running the pick / build / refine
+pipeline.  Degrees of recoded packets then drift away from the Robust
+Soliton — low-degree packets vanish, the ripple starves — and a
+BP-only receiver pays a large packet overhead or stalls outright.
+
+The ``ablation_structure`` bench quantifies the gap; the comparison is
+apples-to-apples because *only* the recoding policy differs.
+"""
+
+from __future__ import annotations
+
+from repro.coding.packet import EncodedPacket
+from repro.core.node import LtncNode
+from repro.errors import RecodingError
+
+__all__ = ["RandomRecodeNode"]
+
+
+class RandomRecodeNode(LtncNode):
+    """LTNC node whose recoding ignores the LT structure (baseline).
+
+    Parameters are those of :class:`~repro.core.node.LtncNode` plus:
+
+    combine:
+        Upper bound on how many held items (stored packets or decoded
+        natives) each recoded packet XORs together; the actual count is
+        drawn uniformly from ``1..combine``, so the baseline does emit
+        occasional single-item forwards (pure many-way recoding never
+        produces the degree-1 packets belief propagation needs to start
+        at all).  Defaults to the RLNC sparsity ``ln k + 20`` — what
+        "random linear recoding of LT packets" means in the prior art
+        the paper contrasts with.  Forcing it down toward 1 turns the
+        baseline into plain forwarding, which *does* preserve structure
+        but gives up the diversity benefit of network coding.
+    """
+
+    scheme = "rndlt"
+
+    def __init__(
+        self, *args: object, combine: int | None = None, **kwargs: object
+    ) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if combine is None:
+            from repro.rlnc.node import default_sparsity
+
+            combine = default_sparsity(self.k)
+        if combine < 1:
+            raise RecodingError(f"combine must be >= 1, got {combine}")
+        self.combine = combine
+
+    def make_packet(self, receiver_state: object | None = None) -> EncodedPacket:
+        """XOR a uniform random subset of held items — no LT structure.
+
+        ``receiver_state`` is accepted for protocol compatibility and
+        ignored: without degree discipline there is nothing for the
+        smart construction to steer.
+        """
+        graph = self.decoder.graph
+        items: list[tuple[int, int]] = [
+            (1, i) for i in self.degree_index.decoded_natives()
+        ] + [(0, pid) for pid in graph.packets]
+        if not items:
+            raise RecodingError("no packets available; cannot recode")
+        cap = min(self.combine, len(items))
+        self.recode_counter.add("rng_draw", 2)
+        t = int(self.rng.integers(1, cap + 1))
+        picks = self.rng.choice(len(items), size=t, replace=False)
+        support: set[int] = set()
+        payload = None
+        from repro.coding.packet import xor_payloads
+
+        for j in picks:
+            kind, item = items[int(j)]
+            if kind == 1:
+                candidate = {item}
+                item_payload = graph.decoded[item]
+            else:
+                candidate = graph.packets[item].support
+                item_payload = graph.packets[item].payload
+            support.symmetric_difference_update(candidate)
+            self.recode_counter.add("vec_word_xor", (self.k + 63) >> 6)
+            payload = xor_payloads(payload, item_payload, self.recode_counter)
+        if not support:
+            # The draw cancelled out; fall back to forwarding one item.
+            kind, item = items[int(picks[0])]
+            if kind == 1:
+                support = {item}
+                payload = xor_payloads(
+                    None, graph.decoded[item], self.recode_counter
+                )
+            else:
+                support = set(graph.packets[item].support)
+                payload = xor_payloads(
+                    None, graph.packets[item].payload, self.recode_counter
+                )
+        return self._finish_packet(support, payload)

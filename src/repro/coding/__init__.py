@@ -1,0 +1,10 @@
+"""Packet abstraction: code vectors plus optional payloads."""
+
+from repro.coding.packet import (
+    EncodedPacket,
+    content_blocks,
+    make_content,
+    xor_payloads,
+)
+
+__all__ = ["EncodedPacket", "xor_payloads", "make_content", "content_blocks"]

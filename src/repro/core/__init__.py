@@ -1,0 +1,44 @@
+"""The paper's contribution: LTNC recoding (§III).
+
+Structures (Table I): :class:`DegreeIndex`, :class:`ConnectedComponents`,
+:class:`SupportIndex`, :class:`OccurrenceTracker`.  Algorithms:
+:func:`build_packet` (Alg. 1), :func:`refine_packet` (Alg. 2),
+:class:`RedundancyDetector` (Alg. 3), :func:`find_innovative_pair`
+(Alg. 4).  :class:`LtncNode` assembles them into a dissemination
+participant.
+"""
+
+from repro.core.builder import BuildResult, build_packet
+from repro.core.components import DECODED_LEADER, ConnectedComponents
+from repro.core.degree_index import DegreeIndex
+from repro.core.feedback import (
+    FeedbackState,
+    find_innovative_native,
+    find_innovative_pair,
+)
+from repro.core.node import LtncNode, LtncStats
+from repro.core.occurrences import OccurrenceTracker
+from repro.core.reachability import ReachabilityOracle
+from repro.core.redundancy import RedundancyDetector
+from repro.core.refiner import RefineResult, pair_payload, refine_packet
+from repro.core.support_index import SupportIndex
+
+__all__ = [
+    "BuildResult",
+    "build_packet",
+    "ConnectedComponents",
+    "DECODED_LEADER",
+    "DegreeIndex",
+    "FeedbackState",
+    "find_innovative_native",
+    "find_innovative_pair",
+    "LtncNode",
+    "LtncStats",
+    "OccurrenceTracker",
+    "ReachabilityOracle",
+    "RedundancyDetector",
+    "RefineResult",
+    "refine_packet",
+    "pair_payload",
+    "SupportIndex",
+]

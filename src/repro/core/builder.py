@@ -1,0 +1,158 @@
+"""Algorithm 1 — building a fresh encoded packet of a given degree.
+
+Given a target degree *d* (drawn from the Robust Soliton) and the
+packets available at the node, find a subset whose XOR has degree
+exactly *d*.  The exact problem is a collision-aware subset sum
+(NP-complete, §III-B2); LTNC solves it greedily:
+
+* examine packets by decreasing degree, starting from *d*;
+* pick uniformly at random inside each degree class;
+* accept a packet iff XOR-ing it in strictly increases the degree of
+  the packet under construction without exceeding *d* — this rejects
+  the *collisions* (overlapping supports) that would shrink the result.
+
+The built degree can fall short of *d* (the paper measures 95 % exact
+hits with 0.2 % average relative deviation — reproduced by the
+text-stats bench); it never exceeds it.
+
+The builder operates on the node's *reduced* state: degree-1 items are
+decoded natives and higher-degree items are Tanner-graph packets whose
+supports exclude decoded natives.  The XOR of any subset of those is a
+valid fresh encoded packet, and its code vector is the symmetric
+difference of the supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coding.packet import xor_payloads
+from repro.core.degree_index import DegreeIndex
+from repro.costmodel.counters import OpCounter
+from repro.lt.tanner import TannerGraph
+
+__all__ = ["BuildResult", "build_packet"]
+
+
+@dataclass
+class BuildResult:
+    """Outcome of one Algorithm-1 run.
+
+    Attributes
+    ----------
+    support:
+        Native indices of the built packet (symmetric difference of the
+        accepted items' supports).
+    payload:
+        Combined payload, or ``None`` in symbolic mode.
+    target:
+        The degree Algorithm 1 was asked for.
+    picked:
+        Items accepted into the combination, as ``(degree-class, id)``
+        pairs — natives for class 1, pids otherwise.
+    examined:
+        Total candidates drawn (accepted + rejected).
+    """
+
+    support: set[int]
+    payload: np.ndarray | None
+    target: int
+    picked: list[tuple[int, int]] = field(default_factory=list)
+    examined: int = 0
+
+    @property
+    def degree(self) -> int:
+        return len(self.support)
+
+    @property
+    def hit(self) -> bool:
+        """True iff the target degree was reached exactly."""
+        return self.degree == self.target
+
+    @property
+    def relative_deviation(self) -> float:
+        """``(target - degree) / target`` — the paper's 0.2 % statistic."""
+        if self.target <= 0:
+            return 0.0
+        return (self.target - self.degree) / self.target
+
+
+def _item_support(
+    graph: TannerGraph, degree_class: int, item: int
+) -> set[int]:
+    if degree_class == 1:
+        return {item}
+    return graph.packets[item].support
+
+
+def _item_payload(
+    graph: TannerGraph, degree_class: int, item: int
+) -> np.ndarray | None:
+    if degree_class == 1:
+        return graph.decoded[item]
+    return graph.packets[item].payload
+
+
+def build_packet(
+    d: int,
+    graph: TannerGraph,
+    index: DegreeIndex,
+    rng: np.random.Generator,
+    counter: OpCounter | None = None,
+) -> BuildResult:
+    """Greedily build a packet of degree <= *d* (Algorithm 1).
+
+    Parameters
+    ----------
+    d:
+        Target degree (>= 1); the caller should have screened it with
+        :class:`~repro.core.reachability.ReachabilityOracle`.
+    graph:
+        The node's Tanner graph — source of supports, payloads and
+        decoded natives.
+    index:
+        Degree index over the same graph (kept in sync by the node).
+    rng:
+        Randomness for the per-class uniform picks.
+    counter:
+        Cost accounting (control ops on supports, data ops on payloads).
+    """
+    counter = counter if counter is not None else OpCounter()
+    words = (graph.k + 63) >> 6  # code-vector words an implementation XORs
+    support: set[int] = set()
+    payload: np.ndarray | None = None
+    result = BuildResult(support=support, payload=None, target=d)
+
+    i = min(d, index.max_degree())
+    pool: list[int] = []
+    pool_class = 0
+    while len(support) < d and i > 0:
+        if pool_class != i:
+            pool = list(index.items_of_degree(i))
+            pool_class = i
+            counter.add("table_op")
+        if not pool:
+            i -= 1
+            continue
+        # pickAtRandom(S') with removal: swap-pop a uniform position.
+        counter.add("rng_draw")
+        j = int(rng.integers(len(pool)))
+        pool[j], pool[-1] = pool[-1], pool[j]
+        item = pool.pop()
+        result.examined += 1
+        candidate = _item_support(graph, i, item)
+        counter.add("table_op", len(candidate))
+        overlap = len(support & candidate)
+        new_degree = len(support) + len(candidate) - 2 * overlap
+        if len(support) < new_degree <= d:
+            support.symmetric_difference_update(candidate)
+            counter.add("vec_word_xor", words)
+            payload = xor_payloads(
+                payload, _item_payload(graph, i, item), counter
+            )
+            result.picked.append((i, item))
+    result.support = support
+    result.payload = payload
+    return result

@@ -1,0 +1,127 @@
+"""Algorithm 4 — smart packet construction over a feedback channel.
+
+§III-C2 distinguishes two feedback regimes:
+
+* **binary** — the receiver sees the code vector first (it travels in
+  the packet header) and aborts the transfer when the redundancy
+  detector flags it, saving the data bytes (modelled by the
+  dissemination simulator, not here);
+* **full** — the receiver ships its leader array ``ccr`` to the sender
+  beforehand, and the sender constructs a degree-1 or degree-2 packet
+  that is *guaranteed innovative*: for degree 1, a native decoded at
+  the sender but not at the receiver; for degree 2, a pair connected at
+  the sender but *not* connected at the receiver.
+
+The degree-2 search builds a mapping ``sigma`` between sender and
+receiver components while scanning the natives once: the first native
+whose sender component was already visited under a *different* receiver
+component yields the pair.  (The paper's pseudo-code compares the
+stored label against ``ccs(i)`` on line 5; the surrounding text and
+Fig. 6 — "component 5 at the sender overlaps with components 3 and 7 at
+the receiver" — make clear the comparison is against ``ccr(i)``, which
+is what we implement.)
+
+Both searches treat leader 0 (decoded) uniformly: decoded natives are
+mutually connected at either end, so no special-casing is needed beyond
+what the labels already encode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.components import DECODED_LEADER, ConnectedComponents
+from repro.costmodel.counters import OpCounter
+from repro.errors import DimensionError
+
+__all__ = ["FeedbackState", "find_innovative_native", "find_innovative_pair"]
+
+
+class FeedbackState:
+    """The receiver-side information shipped over the feedback channel.
+
+    A frozen snapshot of the receiver's leader array ``ccr`` (Fig. 6).
+    Its size is one small integer per native — the paper sends it
+    "through the feedback channel beforehand".
+    """
+
+    __slots__ = ("ccr",)
+
+    def __init__(self, ccr: np.ndarray) -> None:
+        self.ccr = np.asarray(ccr, dtype=np.int64).copy()
+
+    @classmethod
+    def of(cls, components: ConnectedComponents) -> "FeedbackState":
+        return cls(components.labels())
+
+    @property
+    def k(self) -> int:
+        return int(self.ccr.size)
+
+    def is_decoded(self, x: int) -> bool:
+        return bool(self.ccr[x] == DECODED_LEADER)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        decoded = int((self.ccr == DECODED_LEADER).sum())
+        return f"FeedbackState(k={self.k}, decoded={decoded})"
+
+
+def find_innovative_native(
+    sender: ConnectedComponents,
+    receiver: FeedbackState,
+    rng: np.random.Generator,
+    counter: OpCounter | None = None,
+) -> int | None:
+    """Degree-1 case: a native decoded at the sender, not at the receiver.
+
+    Scans the sender's decoded natives in random order and returns the
+    first one still undecoded at the receiver; ``None`` when every
+    sender-decoded native is receiver-decoded too.
+    """
+    counter = counter if counter is not None else OpCounter()
+    if sender.k != receiver.k:
+        raise DimensionError(f"k mismatch: {sender.k} vs {receiver.k}")
+    decoded = sorted(sender.members(DECODED_LEADER))
+    if not decoded:
+        return None
+    counter.add("rng_draw")
+    order = rng.permutation(len(decoded))
+    for pos in order:
+        x = decoded[int(pos)]
+        counter.add("cc_lookup")
+        if not receiver.is_decoded(x):
+            return x
+    return None
+
+
+def find_innovative_pair(
+    sender: ConnectedComponents,
+    receiver: FeedbackState,
+    rng: np.random.Generator,
+    counter: OpCounter | None = None,
+) -> tuple[int, int] | None:
+    """Degree-2 case (Algorithm 4): a sender-buildable, receiver-new pair.
+
+    Finds ``(x, x')`` with ``ccs(x) = ccs(x')`` (the sender can build
+    ``x ^ x'`` from its degree <= 2 packets) and ``ccr(x) != ccr(x')``
+    (the pair is innovative for the receiver).  Natives are processed in
+    random order; returns ``None`` when every sender component maps into
+    a single receiver component.
+    """
+    counter = counter if counter is not None else OpCounter()
+    if sender.k != receiver.k:
+        raise DimensionError(f"k mismatch: {sender.k} vs {receiver.k}")
+    sigma: dict[int, tuple[int, int]] = {}
+    counter.add("rng_draw")
+    for i in rng.permutation(sender.k):
+        x = int(i)
+        ls = int(sender.cc[x])
+        lr = int(receiver.ccr[x])
+        counter.add("cc_lookup", 2)
+        known = sigma.get(ls)
+        counter.add("table_op")
+        if known is None:
+            sigma[ls] = (lr, x)
+        elif known[0] != lr:
+            return known[1], x
+    return None

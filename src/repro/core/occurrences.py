@@ -1,0 +1,121 @@
+"""Occurrence statistics of native packets in sent packets (Table I).
+
+Belief propagation needs the degrees of *native* packets across the
+encoded stream to have minimal variance (ideally a Dirac, §II).  Each
+LTNC node therefore tracks, for every native, how many of its
+previously *sent* packets contained that native; the refinement step
+(§III-B3) substitutes frequent natives with rare connected ones to
+drive the distribution toward uniform.
+
+Frequencies only ever increment by one, so the tracker keeps exact
+buckets ``count -> natives`` and a running minimum: the refiner asks
+for candidates *strictly below* a frequency, scanning buckets from the
+minimum upward — the first acceptable candidate is automatically the
+least frequent one (the paper's argmin).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.costmodel.counters import OpCounter
+from repro.errors import DimensionError
+
+__all__ = ["OccurrenceTracker"]
+
+
+class OccurrenceTracker:
+    """Per-native counts of appearances in packets sent by this node."""
+
+    def __init__(self, k: int, counter: OpCounter | None = None) -> None:
+        if k <= 0:
+            raise DimensionError(f"k must be positive, got {k}")
+        self.k = k
+        self.counter = counter if counter is not None else OpCounter()
+        self.counts = np.zeros(k, dtype=np.int64)
+        self._buckets: dict[int, set[int]] = {0: set(range(k))}
+        self._min_count = 0
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------------
+    def record_sent(self, support: Iterable[int]) -> None:
+        """Account one sent packet containing the natives in *support*."""
+        for x in support:
+            if not 0 <= x < self.k:
+                raise DimensionError(f"native {x} outside 0..{self.k - 1}")
+            old = int(self.counts[x])
+            self.counts[x] = old + 1
+            bucket = self._buckets[old]
+            bucket.discard(x)
+            if not bucket:
+                del self._buckets[old]
+            self._buckets.setdefault(old + 1, set()).add(x)
+            self.counter.add("table_op", 2)
+        self.packets_sent += 1
+        # The minimum can only move up, and only when its bucket drains.
+        while self._min_count not in self._buckets:
+            self._min_count += 1
+
+    # ------------------------------------------------------------------
+    def frequency(self, x: int) -> int:
+        """Occurrences of native *x* in packets sent so far."""
+        self.counter.add("table_op")
+        return int(self.counts[x])
+
+    def min_frequency(self) -> int:
+        """Smallest occurrence count over all natives."""
+        return self._min_count
+
+    def buckets_below(self, limit: int) -> Iterator[tuple[int, frozenset[int]]]:
+        """Yield ``(count, natives)`` for counts in ``[min, limit)``.
+
+        Buckets come in increasing count order, so the first candidate a
+        caller accepts is the global argmin under its extra constraints.
+        """
+        for count in range(self._min_count, limit):
+            bucket = self._buckets.get(count)
+            self.counter.add("table_op")
+            if bucket:
+                yield count, frozenset(bucket)
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Average occurrences per native."""
+        return float(self.counts.mean())
+
+    def variance(self) -> float:
+        """Variance of the per-native occurrence counts."""
+        return float(self.counts.var())
+
+    def rsd(self) -> float:
+        """Relative standard deviation (std / mean) — the §III-B3 metric.
+
+        The paper reports 0.1 % for LTNC nodes mid-dissemination; zero
+        until the first packet is sent.
+        """
+        mu = self.counts.mean()
+        if mu == 0:
+            return 0.0
+        return float(self.counts.std() / mu)
+
+    def check_invariants(self) -> None:
+        """Verify buckets mirror the counts array (tests only)."""
+        for count, bucket in self._buckets.items():
+            assert bucket, f"empty bucket {count} kept alive"
+            for x in bucket:
+                assert self.counts[x] == count, (
+                    f"native {x} in bucket {count} but counts {self.counts[x]}"
+                )
+        assert int(self.counts.min()) == self._min_count, (
+            f"min bucket {self._min_count} vs counts min {self.counts.min()}"
+        )
+        total = sum(len(b) for b in self._buckets.values())
+        assert total == self.k, f"buckets cover {total} of {self.k} natives"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OccurrenceTracker(k={self.k}, sent={self.packets_sent}, "
+            f"rsd={self.rsd():.4f})"
+        )

@@ -1,0 +1,108 @@
+"""Algorithm 3 — low-complexity redundancy detection (§III-C1).
+
+Belief propagation, unlike Gaussian reduction, gives no immediate
+signal that a received packet is *non-innovative* (generable from
+packets already held).  Exact detection would cost a rank computation —
+precisely what LTNC exists to avoid — so the paper detects redundancy
+only for packets of degree <= 3 (almost two thirds of Robust Soliton
+traffic), where cheap sound rules exist:
+
+* degree 1 — redundant iff the native is decoded;
+* degree 2 — ``x ^ x'`` is redundant iff ``cc(x) = cc(x')``: the
+  connected-components structure answers in O(1) and is *collision
+  aware* (it sees combinations of degree-2 packets, not just exact
+  matches);
+* degree 3 — redundant if some native of the support is redundant and
+  the remaining pair is too, or if a stored packet has exactly this
+  support (O(log k) lookup — a hash map here).
+
+The detector is **sound but incomplete**: a ``True`` verdict guarantees
+the packet is in the span of the held packets (property-tested against
+the exact rank oracle); a ``False`` verdict guarantees nothing.  It
+doubles as the Tanner graph's drop policy, discarding stored packets
+whose degree falls to <= 3 during decoding once they become generable —
+the paper measures a 31 % cut in redundant insertions from this
+mechanism, which the ablation bench reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.components import ConnectedComponents
+from repro.core.support_index import SupportIndex
+from repro.costmodel.counters import OpCounter
+from repro.errors import DimensionError
+from repro.lt.tanner import DropPolicy
+
+__all__ = ["RedundancyDetector"]
+
+
+class RedundancyDetector(DropPolicy):
+    """Sound degree-<= 3 redundancy tests over the node's structures."""
+
+    def __init__(
+        self,
+        components: ConnectedComponents,
+        support_index: SupportIndex,
+        counter: OpCounter | None = None,
+    ) -> None:
+        self.components = components
+        self.support_index = support_index
+        self.counter = counter if counter is not None else OpCounter()
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    def is_redundant(self, support: Iterable[int]) -> bool:
+        """Algorithm 3 on a raw (possibly unreduced) support.
+
+        Decoded natives are stripped first — XOR-ing out a decoded value
+        never changes innovativeness — then the reduced support is
+        classified.  Supports of reduced degree > 3 raise: the mechanism
+        is deliberately not defined there (high-degree packets are
+        rarely redundant and checking them is not worth the cost).
+        """
+        reduced = [x for x in support if not self.components.is_decoded(x)]
+        return self.is_redundant_reduced(reduced)
+
+    def is_redundant_reduced(self, support: Iterable[int]) -> bool:
+        """Algorithm 3 on a support already free of decoded natives."""
+        sup = list(support)
+        degree = len(sup)
+        if degree == 0:
+            return True  # fully cancelled by decoded natives
+        if degree == 1:
+            # A reduced degree-1 support means the native is undecoded,
+            # hence the packet is innovative (it decodes that native).
+            return False
+        if degree == 2:
+            return self.components.same(sup[0], sup[1])
+        if degree == 3:
+            a, b, c = sup
+            # No native is decoded (reduced support), so the paper's
+            # three singleton-pair conjunctions all fail; what remains
+            # is the exact-support availability lookup.
+            return self.support_index.has((a, b, c))
+        raise DimensionError(
+            f"redundancy detection is defined for degree <= 3, got {degree}"
+        )
+
+    # ------------------------------------------------------------------
+    # DropPolicy protocol (Tanner graph §III-C1 hook)
+    # ------------------------------------------------------------------
+    def should_drop(self, support: set[int]) -> bool:
+        """Drop a stored packet whose degree fell to <= 3 if redundant.
+
+        The graph hands over the *current* (reduced) support.  A
+        degree-2 support whose endpoints are already connected is a
+        cycle edge — removing it cannot split a component, which keeps
+        the :class:`~repro.core.components.ConnectedComponents`
+        invariant intact.
+        """
+        redundant = self.is_redundant_reduced(support)
+        if redundant:
+            self.drops += 1
+        return redundant
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RedundancyDetector(drops={self.drops})"

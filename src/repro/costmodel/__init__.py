@@ -1,0 +1,12 @@
+"""Cost accounting: operation counters and the CPU-cycle model."""
+
+from repro.costmodel.counters import CONTROL_OPS, DATA_OPS, OpCounter
+from repro.costmodel.cycles import CostBreakdown, CycleModel
+
+__all__ = [
+    "OpCounter",
+    "CONTROL_OPS",
+    "DATA_OPS",
+    "CycleModel",
+    "CostBreakdown",
+]

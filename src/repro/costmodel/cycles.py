@@ -1,0 +1,121 @@
+"""Cycle model: converts operation counts into CPU-cycle estimates.
+
+The paper's Figure 8 reports CPU cycles on an Intel Xeon 2.33 GHz for
+the control plane (code vectors, Tanner graph / code matrix upkeep) and
+the data plane (payload XORs) of recoding and decoding.  We substitute
+deterministic operation counting for wall-clock timing (DESIGN.md §3)
+and convert counts to cycles here.
+
+Calibration
+-----------
+
+Constants approximate a 64-bit scalar core:
+
+* one 64-bit word XOR (load-xor-store on cached data): ~3 cycles;
+* one byte of payload XOR: 3/8 cycle (same word op, 8 bytes at a time)
+  — payloads stream through memory, so an optional ``memory_factor``
+  models bandwidth-bound scaling;
+* a hash/index/queue operation: ~24 cycles (hashing + probe);
+* a `cc` array lookup: ~4 cycles (array load + compare);
+* a random draw: ~32 cycles (PRNG step + scaling).
+
+The absolute values matter less than their ratios: Figure 8's message
+is that Gauss reduction costs ``O(k^2)`` row operations of ``k/64``
+words each while belief propagation costs ``O(k log k)`` edge
+operations, and that sparse RLNC recoding XORs ``ln k + 20`` payloads
+while LTNC XORs only a handful.  Those shapes are invariant to the
+constants; the benches print both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.costmodel.counters import OpCounter
+
+__all__ = ["CycleModel", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Control/data cycle totals for one activity (recode or decode)."""
+
+    control_cycles: float
+    data_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.control_cycles + self.data_cycles
+
+    def per(self, n: float) -> "CostBreakdown":
+        """Cost normalised by *n* (operations, bytes, packets...)."""
+        if n <= 0:
+            return self
+        return CostBreakdown(self.control_cycles / n, self.data_cycles / n)
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Weights mapping canonical operations to CPU cycles.
+
+    Parameters
+    ----------
+    m:
+        Payload size in bytes — scales every ``payload_xor``.
+    memory_factor:
+        Multiplier on data-plane cycles modelling memory-bandwidth
+        pressure for large payloads (1.0 = cache-resident).
+    """
+
+    m: int = 256 * 1024
+    word_xor_cycles: float = 3.0
+    payload_byte_cycles: float = 3.0 / 8.0
+    table_op_cycles: float = 24.0
+    cc_lookup_cycles: float = 4.0
+    rng_draw_cycles: float = 32.0
+    gauss_row_cycles: float = 8.0
+    bp_edge_cycles: float = 12.0
+    memory_factor: float = 1.0
+    extra_weights: Mapping[str, float] = field(default_factory=dict)
+
+    def control_cycles(self, counter: OpCounter) -> float:
+        """Cycles spent on control structures (vectors, graphs, tables)."""
+        c = counter.get
+        cycles = (
+            c("vec_word_xor") * self.word_xor_cycles
+            + c("gauss_row_xor") * self.gauss_row_cycles
+            + c("bp_edge") * self.bp_edge_cycles
+            + c("table_op") * self.table_op_cycles
+            + c("cc_lookup") * self.cc_lookup_cycles
+            + c("rng_draw") * self.rng_draw_cycles
+        )
+        for op, weight in self.extra_weights.items():
+            cycles += c(op) * weight
+        return cycles
+
+    def data_cycles(self, counter: OpCounter) -> float:
+        """Cycles spent XOR-ing payload bytes."""
+        return (
+            counter.get("payload_xor")
+            * self.m
+            * self.payload_byte_cycles
+            * self.memory_factor
+        )
+
+    def breakdown(self, counter: OpCounter) -> CostBreakdown:
+        """Control/data split for one counted activity."""
+        return CostBreakdown(
+            self.control_cycles(counter), self.data_cycles(counter)
+        )
+
+    def data_cycles_per_byte(self, counter: OpCounter, content_bytes: int) -> float:
+        """Data-plane cycles normalised by bytes of useful content.
+
+        Figure 8c/8d report "CPU cycles per byte": the data-plane cost
+        divided by the content bytes processed (recoded packet bytes for
+        8c, decoded content bytes for 8d).
+        """
+        if content_bytes <= 0:
+            return 0.0
+        return self.data_cycles(counter) / content_bytes

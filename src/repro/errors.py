@@ -1,0 +1,45 @@
+"""Exception hierarchy for the LTNC reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Substrate-specific errors refine it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Two objects with incompatible dimensions were combined.
+
+    Raised, for instance, when XOR-ing two :class:`~repro.gf2.BitVector`
+    instances of different lengths, or inserting a code vector of the
+    wrong width into a Gaussian-elimination state.
+    """
+
+
+class DecodingError(ReproError, RuntimeError):
+    """A decoder was asked for data it has not recovered yet."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A degree distribution was built from invalid parameters."""
+
+
+class RecodingError(ReproError, RuntimeError):
+    """The LTNC recoder could not produce a packet.
+
+    This signals a genuinely empty state (no packets available at all),
+    not a failed heuristic — heuristic misses are reported through
+    statistics, per the paper's §III-B.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The dissemination simulator was mis-configured or diverged."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """The distributed-storage extension hit an unrecoverable state."""

@@ -1,0 +1,153 @@
+"""Ablations of LTNC's design choices.
+
+DESIGN.md calls out three mechanisms whose value the paper argues but
+does not isolate; these harnesses isolate them:
+
+* **refinement** (Algorithm 2, §III-B3) — with refinement off, the
+  native-degree distribution drifts from the Dirac and the decoder
+  needs more packets;
+* **redundancy detection** (Algorithm 3, §III-C1) — with detection
+  off, redundant packets occupy the structures and waste XORs (see
+  also :func:`repro.experiments.textstats.measure_redundant_insertions`);
+* **feedback channel** (§III-C2) — none vs binary vs full changes how
+  many sessions ship useless payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.node import LtncNode
+from repro.gossip.simulator import EpidemicSimulator, Feedback
+from repro.rng import derive
+
+__all__ = [
+    "AblationOutcome",
+    "run_ltnc_variant",
+    "refinement_ablation",
+    "feedback_ablation",
+    "redundancy_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationOutcome:
+    """Summary of one LTNC dissemination under a variant configuration."""
+
+    label: str
+    average_completion: float
+    overhead: float
+    abort_rate: float
+    occurrence_rsd: float
+    sessions: int
+    data_transfers: int
+
+
+def run_ltnc_variant(
+    label: str,
+    n_nodes: int,
+    k: int,
+    seed: int = 0,
+    feedback: Feedback = Feedback.BINARY,
+    monte_carlo: int = 2,
+    max_rounds: int = 200_000,
+    **node_kwargs: object,
+) -> AblationOutcome:
+    """Run LTNC with variant node knobs and summarize the §IV-B metrics."""
+    node_kwargs.setdefault("aggressiveness", 0.01)
+    completions, overheads, aborts, rsds = [], [], [], []
+    sessions = transfers = 0
+    for run in range(monte_carlo):
+        sim = EpidemicSimulator(
+            "ltnc",
+            n_nodes,
+            k,
+            feedback=feedback,
+            seed=derive(seed, "ablation", label, run),
+            max_rounds=max_rounds,
+            node_kwargs=dict(node_kwargs),
+        )
+        result = sim.run()
+        completions.append(result.average_completion_round())
+        overheads.append(result.overhead())
+        aborts.append(result.abort_rate())
+        sessions += result.sessions
+        transfers += result.data_transfers
+        node_rsds = [
+            n.occurrences.rsd()
+            for n in sim.nodes
+            if isinstance(n, LtncNode) and n.occurrences.packets_sent >= 20
+        ]
+        if node_rsds:
+            rsds.append(float(np.mean(node_rsds)))
+    return AblationOutcome(
+        label=label,
+        average_completion=float(np.mean(completions)),
+        overhead=float(np.mean(overheads)),
+        abort_rate=float(np.mean(aborts)),
+        occurrence_rsd=float(np.mean(rsds)) if rsds else 0.0,
+        sessions=sessions,
+        data_transfers=transfers,
+    )
+
+
+def refinement_ablation(
+    n_nodes: int = 24, k: int = 96, seed: int = 0, monte_carlo: int = 2
+) -> dict[str, AblationOutcome]:
+    """Algorithm 2 on vs off."""
+    return {
+        "refine-on": run_ltnc_variant(
+            "refine-on", n_nodes, k, seed, monte_carlo=monte_carlo, refine=True
+        ),
+        "refine-off": run_ltnc_variant(
+            "refine-off", n_nodes, k, seed, monte_carlo=monte_carlo, refine=False
+        ),
+    }
+
+
+def redundancy_ablation(
+    n_nodes: int = 24, k: int = 96, seed: int = 0, monte_carlo: int = 2
+) -> dict[str, AblationOutcome]:
+    """Algorithm 3 as drop policy, on vs off.
+
+    The binary feedback header check stays on in both arms (it is a
+    transport feature); the ablated mechanism is the *storage-side*
+    filtering of packets at reception and during decoding.
+    """
+    return {
+        "detect-on": run_ltnc_variant(
+            "detect-on",
+            n_nodes,
+            k,
+            seed,
+            monte_carlo=monte_carlo,
+            detect_redundancy=True,
+        ),
+        "detect-off": run_ltnc_variant(
+            "detect-off",
+            n_nodes,
+            k,
+            seed,
+            monte_carlo=monte_carlo,
+            detect_redundancy=False,
+        ),
+    }
+
+
+def feedback_ablation(
+    n_nodes: int = 24, k: int = 96, seed: int = 0, monte_carlo: int = 2
+) -> dict[str, AblationOutcome]:
+    """Transport feedback: none vs binary vs full (§III-C2)."""
+    return {
+        mode.value: run_ltnc_variant(
+            f"feedback-{mode.value}",
+            n_nodes,
+            k,
+            seed,
+            feedback=mode,
+            monte_carlo=monte_carlo,
+        )
+        for mode in (Feedback.NONE, Feedback.BINARY, Feedback.FULL)
+    }

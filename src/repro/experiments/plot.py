@@ -1,0 +1,64 @@
+"""ASCII rendering of experiment series.
+
+The paper's Figure 7a is a curve, not a table; bench reports are plain
+text files, so this module renders series as ASCII charts — good enough
+to eyeball the epidemic S-curves and the WC/LTNC/RLNC ordering straight
+from ``benchmarks/out/*.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_chart(
+    series: dict[str, tuple[list[float], list[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (xs, ys) series on one shared-axis ASCII chart.
+
+    Each series gets a marker from ``*o+x#@`` (in insertion order); a
+    legend line maps markers back to names.  Points are nearest-cell
+    plotted; later series overwrite earlier ones on collisions.
+    """
+    if not series:
+        raise SimulationError("nothing to plot")
+    if width < 8 or height < 4:
+        raise SimulationError(f"chart too small: {width}x{height}")
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    if not xs_all:
+        raise SimulationError("all series are empty")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    top = f"{y_hi:g}"
+    bottom = f"{y_lo:g}"
+    pad = max(len(top), len(bottom))
+    lines = [f"{y_label} ({', '.join(legend)})"]
+    for i, row in enumerate(grid):
+        label = top if i == 0 else bottom if i == height - 1 else ""
+        lines.append(f"{label:>{pad}} |{''.join(row)}|")
+    axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(f"{'':>{pad}} +{'-' * width}+")
+    lines.append(f"{'':>{pad}}  {axis}  ({x_label})")
+    return "\n".join(lines)

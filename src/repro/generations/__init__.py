@@ -1,0 +1,15 @@
+"""Generation-based chunking of LTNC (the §I 'traditional optimization')."""
+
+from repro.generations.manager import (
+    GenerationNode,
+    GenerationPacket,
+    GenerationSource,
+    generation_bounds,
+)
+
+__all__ = [
+    "GenerationNode",
+    "GenerationPacket",
+    "GenerationSource",
+    "generation_bounds",
+]

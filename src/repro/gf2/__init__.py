@@ -1,0 +1,6 @@
+"""GF(2) linear-algebra substrate: packed bit vectors and matrices."""
+
+from repro.gf2.bitvec import BitVector, WORD_BITS
+from repro.gf2.matrix import GF2Matrix, IncrementalRref, rank_of
+
+__all__ = ["BitVector", "WORD_BITS", "GF2Matrix", "IncrementalRref", "rank_of"]

@@ -1,0 +1,244 @@
+"""Packed bit vectors over GF(2).
+
+Code vectors in LTNC are bitmaps of length *k* shipped in packet
+headers (§IV-A of the paper).  :class:`BitVector` stores them packed
+into ``numpy.uint64`` words so that XOR (the only arithmetic GF(2)
+needs) and popcount are single vectorized operations.
+
+Bit *i* of the vector lives in word ``i >> 6`` at bit position
+``i & 63`` (little-endian bit order within the word).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = ["BitVector", "WORD_BITS"]
+
+WORD_BITS = 64
+_WORD_SHIFT = 6
+_WORD_MASK = 63
+
+
+def _nwords(nbits: int) -> int:
+    return (nbits + _WORD_MASK) >> _WORD_SHIFT
+
+
+def _tail_mask(nbits: int) -> np.uint64:
+    """Mask selecting the valid bits of the last word."""
+    rem = nbits & _WORD_MASK
+    if rem == 0:
+        return np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.uint64((1 << rem) - 1)
+
+
+class BitVector:
+    """A fixed-length vector over GF(2), packed 64 bits per word.
+
+    Instances are mutable; use :meth:`copy` before in-place updates when
+    sharing.  Bits beyond ``nbits`` in the last word are kept at zero as
+    a class invariant, so :meth:`weight` and equality never need
+    masking.
+    """
+
+    __slots__ = ("nbits", "words")
+
+    def __init__(self, nbits: int, words: np.ndarray | None = None) -> None:
+        if nbits < 0:
+            raise DimensionError(f"negative vector length: {nbits}")
+        self.nbits = nbits
+        if words is None:
+            self.words = np.zeros(_nwords(nbits), dtype=np.uint64)
+        else:
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            if words.shape != (_nwords(nbits),):
+                raise DimensionError(
+                    f"expected {_nwords(nbits)} words for {nbits} bits, "
+                    f"got shape {words.shape}"
+                )
+            self.words = words
+            if nbits:
+                self.words[-1] &= _tail_mask(nbits)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, nbits: int) -> "BitVector":
+        """The all-zero vector of length *nbits*."""
+        return cls(nbits)
+
+    @classmethod
+    def from_indices(cls, nbits: int, indices: Iterable[int]) -> "BitVector":
+        """Vector with ones exactly at *indices*."""
+        vec = cls(nbits)
+        for i in indices:
+            vec.set(i)
+        return vec
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Vector from an iterable of 0/1 values (index order)."""
+        seq = list(bits)
+        vec = cls(len(seq))
+        for i, b in enumerate(seq):
+            if b:
+                vec.set(i)
+        return vec
+
+    @classmethod
+    def random(
+        cls, nbits: int, rng: np.random.Generator, density: float = 0.5
+    ) -> "BitVector":
+        """Vector whose bits are i.i.d. Bernoulli(*density*)."""
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        bits = rng.random(nbits) < density
+        vec = cls(nbits)
+        if nbits:
+            packed = np.packbits(bits, bitorder="little")
+            packed = np.pad(packed, (0, _nwords(nbits) * 8 - packed.size))
+            vec.words = packed.view(np.uint64).copy()
+            vec.words[-1] &= _tail_mask(nbits)
+        return vec
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def _check_index(self, i: int) -> int:
+        if i < 0:
+            i += self.nbits
+        if not 0 <= i < self.nbits:
+            raise IndexError(f"bit index {i} out of range for length {self.nbits}")
+        return i
+
+    def get(self, i: int) -> bool:
+        """Value of bit *i*."""
+        i = self._check_index(i)
+        word = int(self.words[i >> _WORD_SHIFT])
+        return bool((word >> (i & _WORD_MASK)) & 1)
+
+    def set(self, i: int, value: bool = True) -> None:
+        """Set bit *i* to *value*."""
+        i = self._check_index(i)
+        mask = np.uint64(1 << (i & _WORD_MASK))
+        if value:
+            self.words[i >> _WORD_SHIFT] |= mask
+        else:
+            self.words[i >> _WORD_SHIFT] &= ~mask
+
+    def flip(self, i: int) -> None:
+        """Toggle bit *i*."""
+        i = self._check_index(i)
+        self.words[i >> _WORD_SHIFT] ^= np.uint64(1 << (i & _WORD_MASK))
+
+    __getitem__ = get
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self.set(i, bool(value))
+
+    # ------------------------------------------------------------------
+    # GF(2) arithmetic
+    # ------------------------------------------------------------------
+    def _check_same_length(self, other: "BitVector") -> None:
+        if self.nbits != other.nbits:
+            raise DimensionError(
+                f"length mismatch: {self.nbits} vs {other.nbits}"
+            )
+
+    def ixor(self, other: "BitVector") -> "BitVector":
+        """In-place XOR (addition over GF(2)); returns ``self``."""
+        self._check_same_length(other)
+        np.bitwise_xor(self.words, other.words, out=self.words)
+        return self
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_same_length(other)
+        return BitVector(self.nbits, np.bitwise_xor(self.words, other.words))
+
+    def __ixor__(self, other: "BitVector") -> "BitVector":
+        return self.ixor(other)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_same_length(other)
+        return BitVector(self.nbits, np.bitwise_and(self.words, other.words))
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_same_length(other)
+        return BitVector(self.nbits, np.bitwise_or(self.words, other.words))
+
+    def overlap(self, other: "BitVector") -> int:
+        """Number of positions where both vectors have a one."""
+        self._check_same_length(other)
+        return int(
+            np.bitwise_count(np.bitwise_and(self.words, other.words)).sum()
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def weight(self) -> int:
+        """Hamming weight (the packet *degree* when used as code vector)."""
+        return int(np.bitwise_count(self.words).sum())
+
+    def is_zero(self) -> bool:
+        """True iff every bit is zero."""
+        return not self.words.any()
+
+    def indices(self) -> np.ndarray:
+        """Sorted array of positions holding a one."""
+        if self.nbits == 0:
+            return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[: self.nbits]).astype(np.int64)
+
+    def first_index(self) -> int:
+        """Position of the lowest set bit; -1 if the vector is zero."""
+        nz = np.flatnonzero(self.words)
+        if nz.size == 0:
+            return -1
+        w = int(nz[0])
+        word = int(self.words[w])
+        return (w << _WORD_SHIFT) + ((word & -word).bit_length() - 1)
+
+    def key(self) -> bytes:
+        """Hashable canonical form (for dict/set membership)."""
+        return self.words.tobytes()
+
+    def nwords(self) -> int:
+        """Number of 64-bit words backing the vector."""
+        return int(self.words.size)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def copy(self) -> "BitVector":
+        """Independent copy of this vector."""
+        return BitVector(self.nbits, self.words.copy())
+
+    def __len__(self) -> int:
+        return self.nbits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.nbits == other.nbits and bool(
+            np.array_equal(self.words, other.words)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nbits, self.key()))
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self.nbits):
+            yield self.get(i)
+
+    def __repr__(self) -> str:
+        if self.nbits <= 64:
+            bits = "".join("1" if b else "0" for b in self)
+            return f"BitVector({self.nbits}, 0b{bits or '0'})"
+        return f"BitVector({self.nbits}, weight={self.weight()})"

@@ -1,0 +1,291 @@
+"""Dense GF(2) matrices and incremental Gaussian reduction.
+
+Two consumers in the paper's system need GF(2) linear algebra:
+
+* the RLNC baseline (§IV-A) decodes with Gaussian reduction on the code
+  matrix and detects non-innovative packets through a partial reduction
+  at insertion time;
+* tests and ablations use an exact rank oracle as the ground truth for
+  innovation, against which LTNC's heuristic redundancy detection
+  (§III-C1) is compared.
+
+:class:`IncrementalRref` maintains a reduced row-echelon basis under
+row insertions, optionally carrying payload rows so that decoding falls
+out of the reduction (once the rank reaches *k* the basis rows are unit
+vectors and payload rows are the native packets).  Every row operation
+is recorded in an :class:`~repro.costmodel.counters.OpCounter` so the
+Figure 8 cost benches can weigh it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.costmodel.counters import OpCounter
+from repro.errors import DecodingError, DimensionError
+from repro.gf2.bitvec import BitVector
+
+__all__ = ["GF2Matrix", "IncrementalRref"]
+
+
+class GF2Matrix:
+    """An immutable-size list of GF(2) rows with batch reductions.
+
+    This is the offline companion of :class:`IncrementalRref`: build it
+    from a set of code vectors, then ask for rank or row-reduce it in
+    one pass.  Rows are :class:`BitVector` instances of equal length.
+    """
+
+    def __init__(self, rows: Iterable[BitVector]) -> None:
+        self.rows: list[BitVector] = [r.copy() for r in rows]
+        if self.rows:
+            ncols = self.rows[0].nbits
+            for r in self.rows:
+                if r.nbits != ncols:
+                    raise DimensionError("ragged rows in GF2Matrix")
+            self.ncols = ncols
+        else:
+            self.ncols = 0
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "GF2Matrix":
+        """Build from a 2-D 0/1 array (row per vector)."""
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise DimensionError("from_dense expects a 2-D array")
+        return cls(BitVector.from_bits(row) for row in (array % 2))
+
+    def to_dense(self) -> np.ndarray:
+        """Return the matrix as a 2-D uint8 0/1 array."""
+        out = np.zeros((len(self.rows), self.ncols), dtype=np.uint8)
+        for i, row in enumerate(self.rows):
+            out[i, row.indices()] = 1
+        return out
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    def rank(self) -> int:
+        """Rank over GF(2) (does not modify the matrix)."""
+        if not self.rows:
+            return 0
+        rref = IncrementalRref(self.ncols)
+        for row in self.rows:
+            rref.insert(row)
+        return rref.rank
+
+    def row_reduce(self) -> "GF2Matrix":
+        """Return the reduced row-echelon form (pivot rows only)."""
+        if not self.rows:
+            return GF2Matrix([])
+        rref = IncrementalRref(self.ncols)
+        for row in self.rows:
+            rref.insert(row)
+        return GF2Matrix(rref.basis_rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF2Matrix({self.nrows}x{self.ncols})"
+
+
+class IncrementalRref:
+    """Reduced row-echelon basis maintained under row insertions.
+
+    Rows are reduced against existing pivots on insertion; if a nonzero
+    residual remains, it becomes a new pivot row and existing rows are
+    back-substituted so the basis stays in *reduced* echelon form.  This
+    mirrors what a practical RLNC implementation does: the incremental
+    work spread over receptions *is* the decoding Gauss reduction.
+
+    Parameters
+    ----------
+    ncols:
+        Width of the vectors (the code length *k*).
+    payload_nbytes:
+        If not ``None``, each inserted row carries an ``m``-byte payload
+        and payload rows are XOR-ed alongside vector rows, so decoding
+        produces the native packets.  ``None`` runs in symbolic mode
+        (vectors only; payload XORs are still *counted*).
+    counter:
+        Destination for cost accounting; a private counter is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        ncols: int,
+        payload_nbytes: int | None = None,
+        counter: OpCounter | None = None,
+    ) -> None:
+        if ncols <= 0:
+            raise DimensionError(f"ncols must be positive, got {ncols}")
+        self.ncols = ncols
+        self.payload_nbytes = payload_nbytes
+        self.counter = counter if counter is not None else OpCounter()
+        # pivot column -> position in self._rows
+        self._pivot_of_col: dict[int, int] = {}
+        self._rows: list[BitVector] = []
+        self._payloads: list[np.ndarray | None] = []
+        self._pivot_cols: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Current rank of the inserted rows."""
+        return len(self._rows)
+
+    def is_full_rank(self) -> bool:
+        """True iff the basis spans the whole space."""
+        return self.rank == self.ncols
+
+    def basis_rows(self) -> list[BitVector]:
+        """Copies of the current pivot rows (reduced echelon form)."""
+        return [r.copy() for r in self._rows]
+
+    def pivot_columns(self) -> list[int]:
+        """Pivot column of each basis row, in insertion order."""
+        return list(self._pivot_cols)
+
+    # ------------------------------------------------------------------
+    def _xor_row(
+        self,
+        vec: BitVector,
+        payload: np.ndarray | None,
+        row_idx: int,
+    ) -> np.ndarray | None:
+        """XOR basis row *row_idx* into (vec, payload), with accounting."""
+        vec.ixor(self._rows[row_idx])
+        self.counter.add("gauss_row_xor")
+        self.counter.add("vec_word_xor", vec.nwords())
+        self.counter.add("payload_xor")
+        other = self._payloads[row_idx]
+        if payload is not None and other is not None:
+            payload = payload.copy() if payload.base is not None else payload
+            np.bitwise_xor(payload, other, out=payload)
+        return payload
+
+    def reduce(
+        self, vec: BitVector, payload: np.ndarray | None = None
+    ) -> tuple[BitVector, np.ndarray | None]:
+        """Reduce (vec, payload) against the basis; inputs untouched.
+
+        Returns the residual vector (zero iff *vec* is in the span) and
+        the correspondingly reduced payload.
+        """
+        if vec.nbits != self.ncols:
+            raise DimensionError(
+                f"vector of length {vec.nbits} vs ncols {self.ncols}"
+            )
+        residual = vec.copy()
+        res_payload = payload.copy() if payload is not None else None
+        while True:
+            lead = residual.first_index()
+            if lead < 0:
+                break
+            row_idx = self._pivot_of_col.get(lead)
+            self.counter.add("table_op")
+            if row_idx is None:
+                break
+            res_payload = self._xor_row(residual, res_payload, row_idx)
+        return residual, res_payload
+
+    def contains(self, vec: BitVector) -> bool:
+        """True iff *vec* is in the span of the inserted rows."""
+        residual, _ = self.reduce(vec)
+        return residual.is_zero()
+
+    def is_innovative(self, vec: BitVector) -> bool:
+        """True iff inserting *vec* would increase the rank."""
+        return not self.contains(vec)
+
+    def insert(
+        self, vec: BitVector, payload: np.ndarray | None = None
+    ) -> bool:
+        """Insert a row; returns True iff it was innovative.
+
+        Keeps the basis in *reduced* echelon form: after the forward
+        reduction of the new row, every existing row containing the new
+        pivot column is back-substituted.
+        """
+        if self.payload_nbytes is not None and payload is not None:
+            payload = np.asarray(payload, dtype=np.uint8)
+            if payload.shape != (self.payload_nbytes,):
+                raise DimensionError(
+                    f"payload shape {payload.shape} vs "
+                    f"expected ({self.payload_nbytes},)"
+                )
+        residual, res_payload = self.reduce(vec, payload)
+        lead = residual.first_index()
+        if lead < 0:
+            return False
+        # Fully reduce below the leading bit so the new row is canonical.
+        while True:
+            nxt = self._next_pivot_overlap(residual)
+            if nxt is None:
+                break
+            res_payload = self._xor_row(residual, res_payload, nxt)
+        row_idx = len(self._rows)
+        self._rows.append(residual)
+        self._payloads.append(res_payload)
+        self._pivot_cols.append(lead)
+        self._pivot_of_col[lead] = row_idx
+        self.counter.add("table_op")
+        # Back-substitute: clear the new pivot column from older rows.
+        for i in range(row_idx):
+            if self._rows[i].get(lead):
+                self._payloads[i] = self._xor_row(
+                    self._rows[i], self._payloads[i], row_idx
+                )
+        return True
+
+    def _next_pivot_overlap(self, vec: BitVector) -> int | None:
+        """Index of a basis row whose pivot column is set in *vec*.
+
+        Only columns *after* the leading one can still be set, since
+        :meth:`reduce` cleared every pivot at or before the lead.
+        """
+        for col in vec.indices():
+            self.counter.add("table_op")
+            row_idx = self._pivot_of_col.get(int(col))
+            if row_idx is not None and int(col) != vec.first_index():
+                return row_idx
+        return None
+
+    # ------------------------------------------------------------------
+    def decode(self) -> list[np.ndarray]:
+        """Native payloads in index order; requires full rank + payloads.
+
+        In reduced echelon form at full rank every basis row is a unit
+        vector, so the payload rows *are* the native packets.
+        """
+        if not self.is_full_rank():
+            raise DecodingError(
+                f"rank {self.rank} < {self.ncols}: cannot decode yet"
+            )
+        if self.payload_nbytes is None:
+            raise DecodingError("symbolic mode: no payloads to decode")
+        out: list[np.ndarray | None] = [None] * self.ncols
+        for row, col, payload in zip(
+            self._rows, self._pivot_cols, self._payloads
+        ):
+            if row.weight() != 1:  # pragma: no cover - RREF invariant
+                raise DecodingError("basis not fully reduced at full rank")
+            out[col] = payload
+        return [p if p is not None else np.zeros(self.payload_nbytes, np.uint8)
+                for p in out]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncrementalRref(ncols={self.ncols}, rank={self.rank})"
+
+
+def rank_of(vectors: Sequence[BitVector], ncols: int | None = None) -> int:
+    """Convenience rank computation for a sequence of vectors."""
+    vecs = list(vectors)
+    if not vecs:
+        return 0
+    rref = IncrementalRref(ncols if ncols is not None else vecs[0].nbits)
+    for v in vecs:
+        rref.insert(v)
+    return rref.rank

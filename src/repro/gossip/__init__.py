@@ -1,0 +1,30 @@
+"""Epidemic push dissemination: peer sampling, simulator, metrics."""
+
+from repro.gossip.channel import ChannelModel
+from repro.gossip.metrics import DisseminationResult
+from repro.gossip.peer_sampling import PeerSampler, UniformSampler, ViewSampler
+from repro.gossip.simulator import EpidemicSimulator, Feedback, run_dissemination
+from repro.gossip.source import SCHEMES, SchemeNode, make_node, make_source
+from repro.gossip.wireless import (
+    WirelessResult,
+    WirelessSimulator,
+    WirelessTopology,
+)
+
+__all__ = [
+    "ChannelModel",
+    "DisseminationResult",
+    "PeerSampler",
+    "UniformSampler",
+    "ViewSampler",
+    "EpidemicSimulator",
+    "Feedback",
+    "run_dissemination",
+    "SCHEMES",
+    "SchemeNode",
+    "make_node",
+    "make_source",
+    "WirelessResult",
+    "WirelessSimulator",
+    "WirelessTopology",
+]

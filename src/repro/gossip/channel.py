@@ -1,0 +1,66 @@
+"""Channel imperfections and node churn for failure injection.
+
+The paper's evaluation assumes reliable unicast (TCP) and a static
+membership served by the peer sampler.  Real deployments — the sensor
+networks of the paper's motivation in particular — lose packets,
+deliver duplicates, and lose nodes.  Rateless codes are supposed to
+shrug all three off: a lost encoded packet is replaced by any future
+one, a duplicate is redundancy the detectors already handle, and a
+restarted node simply starts collecting again.
+
+:class:`ChannelModel` injects those faults into the simulator so tests
+can verify the claim end-to-end:
+
+* ``loss_rate`` — a data transfer vanishes in transit after the header
+  exchange (the session and the payload bytes are spent, the receiver
+  learns nothing);
+* ``duplicate_rate`` — the payload is delivered twice (at-least-once
+  transports);
+* ``churn_rate`` — per-round probability that one incomplete node
+  crashes and restarts empty (completed nodes have persisted the
+  content and are not affected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ChannelModel"]
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Fault rates injected into a dissemination run."""
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    churn_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "churn_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+
+    @property
+    def is_perfect(self) -> bool:
+        return (
+            self.loss_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.churn_rate == 0.0
+        )
+
+    def loses(self, rng: np.random.Generator) -> bool:
+        return self.loss_rate > 0.0 and rng.random() < self.loss_rate
+
+    def duplicates(self, rng: np.random.Generator) -> bool:
+        return self.duplicate_rate > 0.0 and rng.random() < self.duplicate_rate
+
+    def churns(self, rng: np.random.Generator) -> bool:
+        return self.churn_rate > 0.0 and rng.random() < self.churn_rate

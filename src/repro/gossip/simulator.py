@@ -1,0 +1,262 @@
+"""Round-based epidemic push dissemination simulator (§IV-A).
+
+A network of *N* nodes receives content split into *k* native packets
+from one source.  Each gossip period:
+
+1. the source pushes ``source_pushes`` fresh packets to random nodes;
+2. every node that passed its aggressiveness trigger pushes one fresh
+   (re)coded packet to one random peer, in a random order.
+
+Transfers model the paper's TCP sessions: the code vector travels in
+the header, so with a **binary** feedback channel the receiver can run
+its redundancy check on the header alone and abort before the payload
+is shipped (the session still costs a control exchange).  With a
+**full** feedback channel the receiver additionally ships its
+component-leader array beforehand, enabling LTNC's Algorithm-4 smart
+construction for degrees 1-2.  With feedback **off**, every session
+ships its payload.
+
+The simulator is scheme-agnostic through the node protocol in
+:mod:`repro.gossip.source` and collects the §IV-B metrics into a
+:class:`~repro.gossip.metrics.DisseminationResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gossip.channel import ChannelModel
+from repro.gossip.metrics import DisseminationResult
+from repro.gossip.peer_sampling import PeerSampler, UniformSampler
+from repro.gossip.source import SchemeNode, make_node, make_source
+from repro.rng import make_rng, spawn
+
+__all__ = ["Feedback", "EpidemicSimulator", "run_dissemination"]
+
+
+class Feedback(enum.Enum):
+    """Feedback-channel capability of the transport (§III-C2)."""
+
+    NONE = "none"
+    BINARY = "binary"
+    FULL = "full"
+
+
+class EpidemicSimulator:
+    """One dissemination experiment: a source, *N* nodes, a scheme.
+
+    Parameters
+    ----------
+    scheme:
+        ``"wc"``, ``"rlnc"`` or ``"ltnc"``.
+    n_nodes:
+        Network size *N* (receivers; the source is separate).
+    k:
+        Code length.
+    content:
+        Optional ``(k, m)`` payload matrix.  ``None`` runs in symbolic
+        mode: all structure evolves identically, data XORs are counted
+        but not executed (DESIGN.md §3) — the mode benches use.
+    feedback:
+        Transport capability; the paper's evaluation uses BINARY.
+    source_pushes:
+        Packets injected by the source per gossip period.
+    max_rounds:
+        Safety horizon; the run stops earlier once every node decoded.
+    seed:
+        Master seed; node rngs are derived deterministically.
+    node_kwargs:
+        Forwarded to every node constructor (scheme-specific knobs).
+    source_kwargs:
+        Forwarded to the source constructor.
+    sampler:
+        Peer-sampling service; uniform by default.
+    channel:
+        Fault model (loss / duplication / churn); perfect by default.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        n_nodes: int,
+        k: int,
+        content: np.ndarray | None = None,
+        feedback: Feedback = Feedback.BINARY,
+        source_pushes: int = 4,
+        max_rounds: int = 100_000,
+        seed: int | np.random.Generator | None = 0,
+        node_kwargs: dict[str, object] | None = None,
+        source_kwargs: dict[str, object] | None = None,
+        sampler: PeerSampler | None = None,
+        channel: ChannelModel | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise SimulationError(f"n_nodes must be >= 2, got {n_nodes}")
+        if source_pushes < 1:
+            raise SimulationError(
+                f"source_pushes must be >= 1, got {source_pushes}"
+            )
+        self.scheme = scheme
+        self.n_nodes = n_nodes
+        self.k = k
+        self.feedback = feedback
+        self.source_pushes = source_pushes
+        self.max_rounds = max_rounds
+        master = make_rng(seed)
+        rngs = spawn(master, n_nodes + 2)
+        payload_nbytes = int(content.shape[1]) if content is not None else None
+        self.source: SchemeNode = make_source(
+            scheme, k, content, rng=rngs[0], **(source_kwargs or {})
+        )
+        self.nodes: list[SchemeNode] = [
+            make_node(
+                scheme,
+                i,
+                k,
+                payload_nbytes=payload_nbytes,
+                n_nodes=n_nodes,
+                rng=rngs[i + 1],
+                **(node_kwargs or {}),
+            )
+            for i in range(n_nodes)
+        ]
+        self.sampler = (
+            sampler
+            if sampler is not None
+            else UniformSampler(n_nodes, rng=rngs[-1])
+        )
+        self.channel = channel if channel is not None else ChannelModel()
+        self._order_rng = make_rng(int(master.integers(0, 2**63)))
+        self._fault_rng = make_rng(int(master.integers(0, 2**63)))
+        self._node_rng_seed = int(master.integers(0, 2**63))
+        self._payload_nbytes = payload_nbytes
+        self._node_kwargs = dict(node_kwargs or {})
+        self.result = DisseminationResult(scheme, n_nodes, k)
+        self._data_received = [0] * n_nodes
+
+    # ------------------------------------------------------------------
+    def _transfer(self, sender: SchemeNode, receiver_id: int, round_index: int) -> None:
+        """One push session from *sender* to node *receiver_id*."""
+        receiver = self.nodes[receiver_id]
+        result = self.result
+        result.sessions += 1
+        receiver_state = None
+        if self.feedback is Feedback.FULL:
+            receiver_state = receiver.feedback_state()
+        packet = sender.make_packet(receiver_state)
+        result.recoded_packets += 1
+        if self.feedback is not Feedback.NONE:
+            if not receiver.header_is_innovative(packet.vector):
+                result.aborted += 1
+                return
+        result.data_transfers += 1
+        was_complete = receiver.is_complete()
+        if not was_complete:
+            self._data_received[receiver_id] += 1
+        if self.channel.loses(self._fault_rng):
+            # The payload bytes were spent but never arrived.
+            result.lost_transfers += 1
+            return
+        deliveries = 2 if self.channel.duplicates(self._fault_rng) else 1
+        useful = receiver.receive(packet)
+        if deliveries == 2:
+            result.duplicated_transfers += 1
+            receiver.receive(packet.copy())
+        if useful:
+            result.useful_transfers += 1
+        else:
+            result.redundant_transfers += 1
+        if not was_complete and receiver.is_complete():
+            result.completion_rounds[receiver_id] = round_index
+            result.data_until_complete[receiver_id] = self._data_received[
+                receiver_id
+            ]
+
+    def _churn(self) -> None:
+        """Crash-and-restart one random incomplete node.
+
+        Completed nodes are spared: they have persisted the decoded
+        content.  The newcomer keeps the crashed node's identity but
+        starts with empty coding state.
+        """
+        incomplete = [
+            i for i, node in enumerate(self.nodes) if not node.is_complete()
+        ]
+        if not incomplete:
+            return
+        victim = int(incomplete[self._fault_rng.integers(len(incomplete))])
+        from repro.rng import derive
+
+        self.result.churn_events += 1
+        # Fold the dying node's counters so its work is not forgotten.
+        old = self.nodes[victim]
+        recode = getattr(old, "recode_counter", None)
+        decode = getattr(old, "decode_counter", None)
+        if recode is not None:
+            self.result.recode_ops.merge(recode)
+        if decode is not None:
+            self.result.decode_ops.merge(decode)
+        self.nodes[victim] = make_node(
+            self.scheme,
+            victim,
+            self.k,
+            payload_nbytes=self._payload_nbytes,
+            n_nodes=self.n_nodes,
+            rng=derive(
+                self._node_rng_seed, "churn", victim, self.result.churn_events
+            ),
+            **self._node_kwargs,
+        )
+        self._data_received[victim] = 0
+
+    def step(self, round_index: int) -> None:
+        """Run one gossip period."""
+        if self.channel.churns(self._fault_rng):
+            self._churn()
+        # Source injection: the source is not a member of the overlay,
+        # so it draws targets uniformly itself.
+        for _ in range(self.source_pushes):
+            target = int(self._order_rng.integers(self.n_nodes))
+            self._transfer(self.source, target, round_index)
+        # Node pushes, in random order for fairness.
+        order = self._order_rng.permutation(self.n_nodes)
+        for sender_id in order:
+            sender = self.nodes[int(sender_id)]
+            if not sender.can_send():
+                continue
+            (target,) = self.sampler.peers(int(sender_id), 1, round_index)
+            self._transfer(sender, target, round_index)
+        self.result.record_round(round_index)
+
+    def run(self) -> DisseminationResult:
+        """Run rounds until every node decoded or the horizon is hit."""
+        for round_index in range(self.max_rounds):
+            self.step(round_index)
+            if self.result.all_complete:
+                break
+        self._collect_counters()
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _collect_counters(self) -> None:
+        """Fold every node's operation counters into the result."""
+        for node in self.nodes:
+            recode = getattr(node, "recode_counter", None)
+            decode = getattr(node, "decode_counter", None)
+            if recode is not None:
+                self.result.recode_ops.merge(recode)
+            if decode is not None:
+                self.result.decode_ops.merge(decode)
+
+
+def run_dissemination(
+    scheme: str,
+    n_nodes: int,
+    k: int,
+    **kwargs: object,
+) -> DisseminationResult:
+    """Convenience one-shot wrapper around :class:`EpidemicSimulator`."""
+    return EpidemicSimulator(scheme, n_nodes, k, **kwargs).run()  # type: ignore[arg-type]

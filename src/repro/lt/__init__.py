@@ -1,0 +1,40 @@
+"""LT codes substrate: degree distributions, encoder, Tanner graph,
+belief-propagation decoder."""
+
+from repro.lt.decoder import BeliefPropagationDecoder, ReceiveOutcome
+from repro.lt.distributions import (
+    DegreeDistribution,
+    IdealSoliton,
+    RobustSoliton,
+    TruncatedUniform,
+    empirical_degrees,
+    total_variation,
+)
+from repro.lt.encoder import LTEncoder
+from repro.lt.raptor import (
+    Precode,
+    RaptorDecoder,
+    RaptorDistribution,
+    RaptorEncoder,
+)
+from repro.lt.tanner import DropPolicy, StoredPacket, TannerGraph, TannerListener
+
+__all__ = [
+    "BeliefPropagationDecoder",
+    "ReceiveOutcome",
+    "DegreeDistribution",
+    "IdealSoliton",
+    "RobustSoliton",
+    "TruncatedUniform",
+    "empirical_degrees",
+    "total_variation",
+    "LTEncoder",
+    "Precode",
+    "RaptorDecoder",
+    "RaptorDistribution",
+    "RaptorEncoder",
+    "DropPolicy",
+    "StoredPacket",
+    "TannerGraph",
+    "TannerListener",
+]

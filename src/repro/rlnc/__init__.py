@@ -1,0 +1,5 @@
+"""Random linear network coding baseline (sparse codes + Gauss)."""
+
+from repro.rlnc.node import RlncNode, default_sparsity
+
+__all__ = ["RlncNode", "default_sparsity"]

@@ -1,0 +1,5 @@
+"""Pollution defence: GF(2)-homomorphic tags that survive recoding."""
+
+from repro.security.tags import PollutionFilter, TagScheme
+
+__all__ = ["PollutionFilter", "TagScheme"]

@@ -1,0 +1,5 @@
+"""Self-healing distributed storage application of LTNC."""
+
+from repro.storage.cluster import ReadOutcome, StorageCluster
+
+__all__ = ["ReadOutcome", "StorageCluster"]

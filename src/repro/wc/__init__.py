@@ -1,0 +1,5 @@
+"""Without-coding epidemic baseline."""
+
+from repro.wc.node import WcNode, default_fanout
+
+__all__ = ["WcNode", "default_fanout"]

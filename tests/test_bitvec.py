@@ -1,0 +1,232 @@
+"""Unit and property tests for repro.gf2.bitvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.gf2 import BitVector
+
+
+class TestConstruction:
+    def test_zeros_has_no_bits(self):
+        v = BitVector.zeros(100)
+        assert v.weight() == 0
+        assert v.is_zero()
+        assert len(v) == 100
+
+    def test_from_indices_sets_exactly_those_bits(self):
+        v = BitVector.from_indices(70, [0, 63, 64, 69])
+        assert v.get(0) and v.get(63) and v.get(64) and v.get(69)
+        assert v.weight() == 4
+        assert list(v.indices()) == [0, 63, 64, 69]
+
+    def test_from_bits_round_trip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        v = BitVector.from_bits(bits)
+        assert [int(b) for b in v] == bits
+
+    def test_duplicate_indices_idempotent(self):
+        v = BitVector.from_indices(10, [3, 3, 3])
+        assert v.weight() == 1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DimensionError):
+            BitVector(-1)
+
+    def test_zero_length_vector(self):
+        v = BitVector.zeros(0)
+        assert v.weight() == 0
+        assert v.is_zero()
+        assert list(v.indices()) == []
+
+    def test_word_shape_validated(self):
+        with pytest.raises(DimensionError):
+            BitVector(65, np.zeros(1, dtype=np.uint64))
+
+    def test_tail_bits_masked_on_construction(self):
+        # Junk beyond nbits must be cleared to preserve invariants.
+        words = np.full(1, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        v = BitVector(4, words)
+        assert v.weight() == 4
+
+    def test_random_density_extremes(self):
+        rng = np.random.default_rng(0)
+        assert BitVector.random(200, rng, density=0.0).is_zero()
+        assert BitVector.random(200, rng, density=1.0).weight() == 200
+
+    def test_random_density_validated(self):
+        with pytest.raises(ValueError):
+            BitVector.random(8, np.random.default_rng(0), density=1.5)
+
+
+class TestElementAccess:
+    def test_set_get_flip(self):
+        v = BitVector.zeros(65)
+        v.set(64)
+        assert v.get(64)
+        v.flip(64)
+        assert not v.get(64)
+        v.set(10, True)
+        v.set(10, False)
+        assert not v.get(10)
+
+    def test_negative_index_wraps(self):
+        v = BitVector.zeros(10)
+        v.set(-1)
+        assert v.get(9)
+
+    def test_out_of_range_raises(self):
+        v = BitVector.zeros(10)
+        with pytest.raises(IndexError):
+            v.get(10)
+        with pytest.raises(IndexError):
+            v.set(-11)
+
+    def test_getitem_setitem(self):
+        v = BitVector.zeros(8)
+        v[3] = 1
+        assert v[3]
+        v[3] = 0
+        assert not v[3]
+
+
+class TestArithmetic:
+    def test_xor_is_addition(self):
+        a = BitVector.from_indices(10, [1, 2, 3])
+        b = BitVector.from_indices(10, [3, 4])
+        assert sorted(a.__xor__(b).indices()) == [1, 2, 4]
+
+    def test_ixor_mutates_self_only(self):
+        a = BitVector.from_indices(10, [1])
+        b = BitVector.from_indices(10, [2])
+        a.ixor(b)
+        assert list(a.indices()) == [1, 2]
+        assert list(b.indices()) == [2]
+
+    def test_xor_length_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            BitVector.zeros(10).ixor(BitVector.zeros(11))
+
+    def test_and_or_overlap(self):
+        a = BitVector.from_indices(128, [0, 64, 100])
+        b = BitVector.from_indices(128, [64, 100, 127])
+        assert sorted((a & b).indices()) == [64, 100]
+        assert sorted((a | b).indices()) == [0, 64, 100, 127]
+        assert a.overlap(b) == 2
+
+    def test_first_index(self):
+        assert BitVector.zeros(100).first_index() == -1
+        assert BitVector.from_indices(100, [65, 99]).first_index() == 65
+        assert BitVector.from_indices(100, [0]).first_index() == 0
+
+
+class TestEqualityHash:
+    def test_eq_and_hash_agree(self):
+        a = BitVector.from_indices(70, [1, 65])
+        b = BitVector.from_indices(70, [1, 65])
+        assert a == b and hash(a) == hash(b)
+        b.flip(0)
+        assert a != b
+
+    def test_key_distinguishes_contents(self):
+        a = BitVector.from_indices(70, [1])
+        b = BitVector.from_indices(70, [2])
+        assert a.key() != b.key()
+
+    def test_eq_other_type(self):
+        assert BitVector.zeros(3) != "not a vector"
+
+    def test_copy_is_independent(self):
+        a = BitVector.from_indices(10, [5])
+        b = a.copy()
+        b.flip(5)
+        assert a.get(5) and not b.get(5)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests: GF(2) vector-space laws
+# ----------------------------------------------------------------------
+
+vec_lengths = st.integers(min_value=1, max_value=300)
+
+
+@st.composite
+def bitvectors(draw, nbits=None):
+    n = draw(vec_lengths) if nbits is None else nbits
+    idx = draw(st.lists(st.integers(0, n - 1), max_size=n))
+    return BitVector.from_indices(n, idx)
+
+
+@st.composite
+def bitvector_pairs(draw):
+    n = draw(vec_lengths)
+    return draw(bitvectors(nbits=n)), draw(bitvectors(nbits=n))
+
+
+@st.composite
+def bitvector_triples(draw):
+    n = draw(vec_lengths)
+    return tuple(draw(bitvectors(nbits=n)) for _ in range(3))
+
+
+@settings(max_examples=80)
+@given(bitvector_pairs())
+def test_xor_commutative(pair):
+    a, b = pair
+    assert a.__xor__(b) == b.__xor__(a)
+
+
+@settings(max_examples=80)
+@given(bitvector_triples())
+def test_xor_associative(triple):
+    a, b, c = triple
+    assert (a.__xor__(b)).__xor__(c) == a.__xor__(b.__xor__(c))
+
+
+@settings(max_examples=80)
+@given(bitvectors())
+def test_xor_self_is_zero(v):
+    assert v.__xor__(v).is_zero()
+
+
+@settings(max_examples=80)
+@given(bitvectors())
+def test_zero_is_identity(v):
+    zero = BitVector.zeros(len(v))
+    assert v.__xor__(zero) == v
+
+
+@settings(max_examples=80)
+@given(bitvector_pairs())
+def test_weight_triangle_inequality(pair):
+    a, b = pair
+    # |w(a) - w(b)| <= w(a ^ b) <= w(a) + w(b)
+    w = a.__xor__(b).weight()
+    assert abs(a.weight() - b.weight()) <= w <= a.weight() + b.weight()
+
+
+@settings(max_examples=80)
+@given(bitvectors())
+def test_indices_weight_consistent(v):
+    idx = v.indices()
+    assert len(idx) == v.weight()
+    assert all(v.get(int(i)) for i in idx)
+
+
+@settings(max_examples=80)
+@given(bitvector_pairs())
+def test_xor_weight_via_overlap(pair):
+    a, b = pair
+    assert a.__xor__(b).weight() == a.weight() + b.weight() - 2 * a.overlap(b)
+
+
+@settings(max_examples=50)
+@given(bitvectors())
+def test_tail_invariant_preserved(v):
+    # After arbitrary ops the bits beyond nbits stay zero, so weight over
+    # indices always matches weight over words.
+    v2 = v.__xor__(v).__xor__(v)
+    assert v2 == v
+    assert v2.weight() == len(v2.indices())

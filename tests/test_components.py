@@ -1,0 +1,205 @@
+"""Unit + property tests for connected components (core/components.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import DECODED_LEADER, ConnectedComponents
+from repro.errors import DimensionError, RecodingError
+
+
+def test_initial_state_singletons():
+    cc = ConnectedComponents(5)
+    assert cc.component_count() == 5
+    for x in range(5):
+        assert cc.component_of(x) == {x}
+        assert not cc.is_decoded(x)
+    assert cc.decoded_count() == 0
+
+
+def test_add_edge_merges():
+    cc = ConnectedComponents(6)
+    cc.add_edge(pid=0, x=1, y=3)
+    assert cc.same(1, 3)
+    assert not cc.same(1, 2)
+    assert cc.component_of(1) == {1, 3}
+    assert cc.component_count() == 5
+    cc.check_invariants()
+
+
+def test_merge_chains_transitively():
+    # Paper Fig. 5: {x2,x4} and {x3,x5,x7} merge on receiving x3+x4.
+    cc = ConnectedComponents(8)
+    cc.add_edge(0, 2, 4)
+    cc.add_edge(1, 3, 5)
+    cc.add_edge(2, 5, 7)
+    cc.add_edge(3, 3, 4)  # the merging edge
+    assert cc.component_of(2) == {2, 3, 4, 5, 7}
+    assert cc.same(2, 7)
+    cc.check_invariants()
+
+
+def test_cycle_edge_keeps_partition():
+    cc = ConnectedComponents(4)
+    cc.add_edge(0, 0, 1)
+    cc.add_edge(1, 1, 2)
+    before = cc.component_of(0)
+    cc.add_edge(2, 0, 2)  # closes a cycle
+    assert cc.component_of(0) == before
+    cc.check_invariants()
+
+
+def test_remove_cycle_edge_preserves_connectivity():
+    cc = ConnectedComponents(4)
+    cc.add_edge(0, 0, 1)
+    cc.add_edge(1, 1, 2)
+    cc.add_edge(2, 0, 2)
+    cc.remove_edge(2)
+    assert cc.same(0, 2)
+    cc.check_invariants()
+
+
+def test_remove_unknown_pid_is_ignored():
+    cc = ConnectedComponents(4)
+    cc.remove_edge(99)  # packets of degree >= 3 also emit removals
+    cc.check_invariants()
+
+
+def test_duplicate_edge_pid_rejected():
+    cc = ConnectedComponents(4)
+    cc.add_edge(0, 0, 1)
+    with pytest.raises(DimensionError):
+        cc.add_edge(0, 2, 3)
+
+
+def test_edge_to_decoded_rejected():
+    cc = ConnectedComponents(4)
+    cc.mark_decoded(1)
+    with pytest.raises(DimensionError):
+        cc.add_edge(0, 0, 1)
+
+
+def test_mark_decoded_moves_to_leader_zero():
+    cc = ConnectedComponents(4)
+    cc.mark_decoded(2)
+    assert cc.is_decoded(2)
+    assert cc.leader(2) == DECODED_LEADER
+    assert cc.members(DECODED_LEADER) == {2}
+    assert 2 not in cc.component_of(0)
+    cc.mark_decoded(2)  # idempotent
+    assert cc.decoded_count() == 1
+
+
+def test_decoded_pair_is_same():
+    cc = ConnectedComponents(4)
+    cc.mark_decoded(0)
+    cc.mark_decoded(3)
+    assert cc.same(0, 3)  # both leader 0: x0 ^ x3 buildable from values
+
+
+def test_labels_returns_copy():
+    cc = ConnectedComponents(4)
+    labels = cc.labels()
+    labels[0] = 42
+    assert cc.leader(0) != 42
+
+
+def test_path_pids_single_edge():
+    cc = ConnectedComponents(4)
+    cc.add_edge(7, 0, 1)
+    assert cc.path_pids(0, 1) == [7]
+    assert cc.path_pids(0, 0) == []
+
+
+def test_path_pids_telescopes():
+    # Paper §III-A: x3 ~ x7 via x3+x5 (y4) and x5+x7 (y6).
+    cc = ConnectedComponents(8)
+    cc.add_edge(4, 3, 5)
+    cc.add_edge(6, 5, 7)
+    path = cc.path_pids(3, 7)
+    assert path == [4, 6]
+
+
+def test_path_pids_raises_across_components():
+    cc = ConnectedComponents(4)
+    cc.add_edge(0, 0, 1)
+    with pytest.raises(RecodingError):
+        cc.path_pids(0, 3)
+
+
+def test_path_prefers_any_simple_path_in_multigraph():
+    cc = ConnectedComponents(3)
+    cc.add_edge(0, 0, 1)
+    cc.add_edge(1, 0, 1)  # parallel edge
+    path = cc.path_pids(0, 1)
+    assert len(path) == 1 and path[0] in (0, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    k=st.integers(2, 24),
+    edges=st.lists(
+        st.tuples(st.integers(0, 23), st.integers(0, 23)), max_size=40
+    ),
+)
+def test_labels_match_graph_connectivity(k, edges):
+    """cc(x) == cc(y) must coincide with reachability over added edges."""
+    cc = ConnectedComponents(k)
+    added = []
+    for pid, (a, b) in enumerate(edges):
+        a, b = a % k, b % k
+        if a == b:
+            continue
+        cc.add_edge(pid, a, b)
+        added.append((a, b))
+    cc.check_invariants()
+    # Independent union-find ground truth.
+    parent = list(range(k))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for a, b in added:
+        parent[find(a)] = find(b)
+    for x in range(k):
+        for y in range(k):
+            assert cc.same(x, y) == (find(x) == find(y))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(2, 16),
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=1,
+        max_size=30,
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_path_pids_connect_equivalent_pairs(k, edges, seed):
+    """Any same-component undecoded pair must yield a valid pid path."""
+    cc = ConnectedComponents(k)
+    endpoint_of = {}
+    for pid, (a, b) in enumerate(edges):
+        a, b = a % k, b % k
+        if a == b:
+            continue
+        cc.add_edge(pid, a, b)
+        endpoint_of[pid] = (a, b)
+    rng = np.random.default_rng(seed)
+    xs = rng.integers(0, k, size=8)
+    ys = rng.integers(0, k, size=8)
+    for x, y in zip(xs, ys):
+        x, y = int(x), int(y)
+        if not cc.same(x, y) or x == y:
+            continue
+        path = cc.path_pids(x, y)
+        # XOR of the edge endpoints telescopes to {x, y}.
+        acc: set[int] = set()
+        for pid in path:
+            acc ^= set(endpoint_of[pid])
+        assert acc == {x, y}

@@ -1,0 +1,119 @@
+"""Unit tests for the packets-by-degree index (core/degree_index.py)."""
+
+import pytest
+
+from repro.core.degree_index import DegreeIndex
+from repro.errors import DimensionError
+
+
+def test_rejects_bad_k():
+    with pytest.raises(DimensionError):
+        DegreeIndex(0)
+
+
+def test_empty_index():
+    idx = DegreeIndex(8)
+    assert idx.n(1) == 0
+    assert idx.n(2) == 0
+    assert idx.max_degree() == 0
+    assert idx.total_packets() == 0
+    assert list(idx.degrees_present()) == []
+    assert idx.degree_mass(8) == 0
+
+
+def test_add_and_query_packets():
+    idx = DegreeIndex(16)
+    idx.add_packet(0, 3)
+    idx.add_packet(1, 3)
+    idx.add_packet(2, 5)
+    assert idx.n(3) == 2
+    assert idx.n(5) == 1
+    assert idx.items_of_degree(3) == {0, 1}
+    assert idx.max_degree() == 5
+    assert list(idx.degrees_present()) == [3, 5]
+    idx.check_invariants()
+
+
+def test_add_packet_rejects_degree_below_two():
+    idx = DegreeIndex(8)
+    with pytest.raises(DimensionError):
+        idx.add_packet(0, 1)
+
+
+def test_add_packet_rejects_duplicate_pid():
+    idx = DegreeIndex(8)
+    idx.add_packet(0, 2)
+    with pytest.raises(DimensionError):
+        idx.add_packet(0, 3)
+
+
+def test_update_moves_between_buckets():
+    idx = DegreeIndex(16)
+    idx.add_packet(7, 4)
+    idx.update_packet(7, 2)
+    assert idx.n(4) == 0
+    assert idx.n(2) == 1
+    assert idx.degree_of(7) == 2
+    idx.check_invariants()
+
+
+def test_update_same_degree_is_noop():
+    idx = DegreeIndex(16)
+    idx.add_packet(7, 4)
+    idx.update_packet(7, 4)
+    assert idx.n(4) == 1
+    idx.check_invariants()
+
+
+def test_remove_packet():
+    idx = DegreeIndex(16)
+    idx.add_packet(1, 2)
+    idx.add_packet(2, 2)
+    idx.remove_packet(1)
+    assert idx.items_of_degree(2) == {2}
+    idx.remove_packet(2)
+    assert idx.n(2) == 0
+    assert idx.max_degree() == 0
+    idx.check_invariants()
+
+
+def test_decoded_natives_are_degree_one():
+    idx = DegreeIndex(16)
+    idx.add_decoded(3)
+    idx.add_decoded(9)
+    assert idx.n(1) == 2
+    assert idx.items_of_degree(1) == {3, 9}
+    assert idx.decoded_natives() == {3, 9}
+    assert idx.max_degree() == 1
+    assert list(idx.degrees_present()) == [1]
+
+
+def test_add_decoded_bounds():
+    idx = DegreeIndex(4)
+    with pytest.raises(DimensionError):
+        idx.add_decoded(4)
+    with pytest.raises(DimensionError):
+        idx.add_decoded(-1)
+
+
+def test_degree_mass_matches_paper_example():
+    # {x1+x2+x3, x1+x3, x2+x5}: mass = 2*2 + 3 = 7 (paper §III-B1).
+    idx = DegreeIndex(8)
+    idx.add_packet(0, 3)
+    idx.add_packet(1, 2)
+    idx.add_packet(2, 2)
+    assert idx.degree_mass(3) == 7
+    assert idx.degree_mass(2) == 4  # only the two degree-2 packets
+    assert idx.degree_mass(1) == 0
+    idx.add_decoded(0)
+    assert idx.degree_mass(1) == 1
+    assert idx.degree_mass(3) == 8
+
+
+def test_mixed_degrees_present_sorted():
+    idx = DegreeIndex(32)
+    idx.add_packet(0, 9)
+    idx.add_packet(1, 2)
+    idx.add_decoded(5)
+    assert list(idx.degrees_present()) == [1, 2, 9]
+    assert idx.total_packets() == 3

@@ -1,0 +1,181 @@
+"""Tests for repro.lt.distributions (Fig. 2 foundations)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.lt.distributions import (
+    DegreeDistribution,
+    IdealSoliton,
+    RobustSoliton,
+    TruncatedUniform,
+    empirical_degrees,
+    total_variation,
+)
+from repro.rng import make_rng
+
+
+class TestIdealSoliton:
+    def test_pmf_sums_to_one(self):
+        d = IdealSoliton(100)
+        assert math.isclose(d.pmf.sum(), 1.0, abs_tol=1e-9)
+
+    def test_known_values(self):
+        k = 10
+        d = IdealSoliton(k)
+        # rho is already normalised: sum 1/k + sum 1/(i(i-1)) = 1
+        assert math.isclose(d.probability(1), 1 / k, rel_tol=1e-12)
+        assert math.isclose(d.probability(2), 1 / 2, rel_tol=1e-12)
+        assert math.isclose(d.probability(10), 1 / 90, rel_tol=1e-12)
+
+    def test_k_validation(self):
+        with pytest.raises(DistributionError):
+            IdealSoliton(0)
+
+
+class TestRobustSoliton:
+    def test_pmf_sums_to_one(self):
+        for k in (16, 128, 2048):
+            d = RobustSoliton(k)
+            assert math.isclose(d.pmf.sum(), 1.0, abs_tol=1e-9)
+
+    def test_low_degree_mass_dominates(self):
+        # Paper §III-B3 claims "more than half of the encoded packets
+        # are of degree 1 or 2".  Analytically the Robust Soliton puts
+        # 0.42-0.50 there depending on (c, delta) — the Ideal Soliton
+        # alone gives 0.50 and tau dilutes it — so we assert the claim's
+        # substance (degrees 1-2 dominate by far) rather than the loose
+        # 50 % figure.
+        d = RobustSoliton(2048, c=0.1, delta=0.05)
+        assert d.low_degree_mass() > 0.4
+        # ... and no other degree (including the spike) comes close.
+        assert d.low_degree_mass() > 2 * d.pmf[3:].max()
+
+    def test_degree_le_3_is_majority(self):
+        # §III-C1: degree <= 3 covers "almost two thirds" of packets.
+        d = RobustSoliton(2048, c=0.1, delta=0.05)
+        assert d.mass_below(3) > 0.55
+
+    def test_spike_exists(self):
+        d = RobustSoliton(2048, c=0.1, delta=0.05)
+        spike = d.spike
+        assert 2 < spike < 2048
+        # The spike dominates its immediate neighbourhood.
+        assert d.probability(spike) > d.probability(spike - 1)
+        assert d.probability(spike) > d.probability(spike + 1)
+
+    def test_mean_is_order_log_k(self):
+        for k in (256, 1024, 4096):
+            d = RobustSoliton(k)
+            assert d.mean() < 4 * math.log(k)
+            assert d.mean() > 0.5 * math.log(k)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DistributionError):
+            RobustSoliton(0)
+        with pytest.raises(DistributionError):
+            RobustSoliton(16, c=-1)
+        with pytest.raises(DistributionError):
+            RobustSoliton(16, delta=1.5)
+
+    def test_small_k_degenerate_but_valid(self):
+        d = RobustSoliton(2)
+        assert math.isclose(d.pmf.sum(), 1.0, abs_tol=1e-9)
+        assert d.sample(make_rng(0)) in (1, 2)
+
+    def test_sampling_matches_pmf(self):
+        d = RobustSoliton(64)
+        rng = make_rng(7)
+        samples = d.sample_many(40_000, rng)
+        emp = empirical_degrees(samples.tolist(), 64)
+        assert total_variation(emp, d.pmf) < 0.02
+
+
+class TestTruncatedUniform:
+    def test_uniform_mass(self):
+        d = TruncatedUniform(10, 5)
+        for i in range(1, 6):
+            assert math.isclose(d.probability(i), 0.2, rel_tol=1e-12)
+        assert d.probability(6) == 0.0
+
+    def test_default_dmax_is_k(self):
+        d = TruncatedUniform(4)
+        assert d.max_degree() == 4
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            TruncatedUniform(4, 5)
+
+
+class TestBaseDistribution:
+    def test_pmf_shape_validation(self):
+        with pytest.raises(DistributionError):
+            DegreeDistribution(3, np.array([0.0, 0.5, 0.5]))  # wrong len
+
+    def test_pmf_mass_at_zero_rejected(self):
+        with pytest.raises(DistributionError):
+            DegreeDistribution(2, np.array([0.1, 0.4, 0.5]))
+
+    def test_pmf_normalisation_enforced(self):
+        with pytest.raises(DistributionError):
+            DegreeDistribution(2, np.array([0.0, 0.3, 0.3]))
+
+    def test_mass_below(self):
+        d = TruncatedUniform(4)
+        assert d.mass_below(0) == 0.0
+        assert math.isclose(d.mass_below(2), 0.5, rel_tol=1e-12)
+        assert math.isclose(d.mass_below(99), 1.0, rel_tol=1e-12)
+
+    def test_probability_outside_support(self):
+        d = IdealSoliton(8)
+        assert d.probability(0) == 0.0
+        assert d.probability(9) == 0.0
+
+    def test_total_variation_validates(self):
+        with pytest.raises(DistributionError):
+            total_variation(np.zeros(3), np.zeros(4))
+
+    def test_empirical_degrees_validates(self):
+        with pytest.raises(DistributionError):
+            empirical_degrees([0], 4)
+        with pytest.raises(DistributionError):
+            empirical_degrees([5], 4)
+
+
+# ----------------------------------------------------------------------
+# Property-based
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(st.integers(1, 512))
+def test_ideal_soliton_always_normalised(k):
+    d = IdealSoliton(k)
+    assert math.isclose(d.pmf.sum(), 1.0, abs_tol=1e-9)
+    assert (d.pmf >= 0).all()
+
+
+@settings(max_examples=40)
+@given(
+    st.integers(4, 512),
+    st.floats(0.01, 0.5),
+    st.floats(0.01, 0.9),
+)
+def test_robust_soliton_always_valid(k, c, delta):
+    d = RobustSoliton(k, c=c, delta=delta)
+    assert math.isclose(d.pmf.sum(), 1.0, abs_tol=1e-9)
+    assert d.beta >= 1.0  # tau adds non-negative mass
+    assert 1 <= d.spike <= k
+
+
+@settings(max_examples=30)
+@given(st.integers(2, 256), st.integers(0, 2**32 - 1))
+def test_samples_always_in_support(k, seed):
+    d = RobustSoliton(k)
+    rng = make_rng(seed)
+    for _ in range(20):
+        assert 1 <= d.sample(rng) <= k

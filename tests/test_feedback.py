@@ -1,0 +1,157 @@
+"""Tests for Algorithm 4 — smart packet construction (§III-C2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import DECODED_LEADER, ConnectedComponents
+from repro.core.feedback import (
+    FeedbackState,
+    find_innovative_native,
+    find_innovative_pair,
+)
+from repro.errors import DimensionError
+
+
+def _components(k, edges=(), decoded=()):
+    cc = ConnectedComponents(k)
+    for x in decoded:
+        cc.mark_decoded(x)
+    for pid, (a, b) in enumerate(edges):
+        cc.add_edge(pid, a, b)
+    return cc
+
+
+def test_feedback_state_snapshot():
+    cc = _components(4, decoded=[1])
+    state = FeedbackState.of(cc)
+    assert state.k == 4
+    assert state.is_decoded(1)
+    assert not state.is_decoded(0)
+    # Snapshot is frozen: later receiver progress is not reflected.
+    cc.mark_decoded(0)
+    assert not state.is_decoded(0)
+
+
+def test_k_mismatch_raises():
+    sender = _components(4)
+    receiver = FeedbackState(np.zeros(5, dtype=np.int64))
+    rng = np.random.default_rng(0)
+    with pytest.raises(DimensionError):
+        find_innovative_native(sender, receiver, rng)
+    with pytest.raises(DimensionError):
+        find_innovative_pair(sender, receiver, rng)
+
+
+def test_native_found_when_receiver_lacks_it():
+    sender = _components(6, decoded=[0, 3])
+    receiver = FeedbackState.of(_components(6, decoded=[0]))
+    rng = np.random.default_rng(1)
+    assert find_innovative_native(sender, receiver, rng) == 3
+
+
+def test_native_none_when_receiver_has_all():
+    sender = _components(6, decoded=[0, 3])
+    receiver = FeedbackState.of(_components(6, decoded=[0, 3, 5]))
+    rng = np.random.default_rng(2)
+    assert find_innovative_native(sender, receiver, rng) is None
+
+
+def test_native_none_when_sender_decoded_nothing():
+    sender = _components(6)
+    receiver = FeedbackState.of(_components(6))
+    rng = np.random.default_rng(3)
+    assert find_innovative_native(sender, receiver, rng) is None
+
+
+def test_pair_paper_figure6():
+    """Fig. 6: sender component {x2,x4,x6} vs receiver {x2,x6},{x3,x4}.
+
+    (0-indexed.)  The sender's component overlaps two receiver
+    components, so an innovative pair must be found, and it must
+    straddle the receiver split.
+    """
+    sender = _components(7, edges=[(2, 4), (4, 6)], decoded=[5])
+    receiver = FeedbackState.of(
+        _components(7, edges=[(0, 4), (0, 6), (1, 3)], decoded=[5])
+    )
+    rng = np.random.default_rng(4)
+    pair = find_innovative_pair(sender, receiver, rng)
+    assert pair is not None
+    x, y = pair
+    assert sender.same(x, y)
+    assert receiver.ccr[x] != receiver.ccr[y]
+
+
+def test_pair_none_when_consistent():
+    """Sender components each inside one receiver component -> no pair."""
+    sender = _components(6, edges=[(0, 1)])
+    receiver = FeedbackState.of(
+        _components(6, edges=[(0, 1), (1, 2)])
+    )
+    rng = np.random.default_rng(5)
+    assert find_innovative_pair(sender, receiver, rng) is None
+
+
+def test_pair_from_sender_decoded_class():
+    """Two sender-decoded natives undecoded and split at the receiver."""
+    sender = _components(6, decoded=[0, 1, 2])
+    receiver = FeedbackState.of(_components(6, edges=[(0, 1)]))
+    rng = np.random.default_rng(6)
+    pair = find_innovative_pair(sender, receiver, rng)
+    assert pair is not None
+    x, y = pair
+    assert sender.same(x, y)
+    assert receiver.ccr[x] != receiver.ccr[y]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    k=st.integers(2, 12),
+    sender_edges=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=14
+    ),
+    receiver_edges=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=14
+    ),
+    sender_decoded=st.sets(st.integers(0, 11), max_size=4),
+    receiver_decoded=st.sets(st.integers(0, 11), max_size=4),
+    seed=st.integers(0, 2**16),
+)
+def test_pair_verdicts_are_exact(
+    k, sender_edges, receiver_edges, sender_decoded, receiver_decoded, seed
+):
+    """Found pairs are sender-buildable and receiver-innovative; a None
+    verdict means no such pair exists (exhaustively checked)."""
+
+    def build(edges, decoded):
+        cc = ConnectedComponents(k)
+        for x in {d % k for d in decoded}:
+            cc.mark_decoded(x)
+        pid = 0
+        for a, b in edges:
+            a, b = a % k, b % k
+            if a == b or cc.is_decoded(a) or cc.is_decoded(b):
+                continue
+            cc.add_edge(pid, a, b)
+            pid += 1
+        return cc
+
+    sender = build(sender_edges, sender_decoded)
+    receiver_cc = build(receiver_edges, receiver_decoded)
+    receiver = FeedbackState.of(receiver_cc)
+    rng = np.random.default_rng(seed)
+    pair = find_innovative_pair(sender, receiver, rng)
+    exists = any(
+        sender.cc[x] == sender.cc[y] and receiver.ccr[x] != receiver.ccr[y]
+        for x in range(k)
+        for y in range(x + 1, k)
+    )
+    if pair is None:
+        assert not exists
+    else:
+        x, y = pair
+        assert x != y
+        assert sender.cc[x] == sender.cc[y]
+        assert receiver.ccr[x] != receiver.ccr[y]

@@ -1,0 +1,75 @@
+"""Tests for the gossip peer-sampling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gossip.peer_sampling import UniformSampler, ViewSampler
+
+
+def test_uniform_rejects_tiny_network():
+    with pytest.raises(SimulationError):
+        UniformSampler(1)
+
+
+def test_uniform_never_returns_self():
+    sampler = UniformSampler(10, rng=0)
+    for node in range(10):
+        for _ in range(20):
+            peers = sampler.peers(node, 3, 0)
+            assert node not in peers
+            assert len(peers) == len(set(peers)) == 3
+            assert all(0 <= p < 10 for p in peers)
+
+
+def test_uniform_caps_at_membership():
+    sampler = UniformSampler(4, rng=1)
+    peers = sampler.peers(0, 10, 0)
+    assert sorted(peers) == [1, 2, 3]
+
+
+def test_uniform_is_roughly_uniform():
+    sampler = UniformSampler(6, rng=2)
+    counts = np.zeros(6)
+    for _ in range(3000):
+        (p,) = sampler.peers(0, 1, 0)
+        counts[p] += 1
+    assert counts[0] == 0
+    expected = 3000 / 5
+    assert np.all(np.abs(counts[1:] - expected) < 0.25 * expected)
+
+
+def test_view_sampler_validation():
+    with pytest.raises(SimulationError):
+        ViewSampler(1)
+    with pytest.raises(SimulationError):
+        ViewSampler(8, view_size=0)
+    with pytest.raises(SimulationError):
+        ViewSampler(8, renewal_period=0)
+
+
+def test_view_sampler_draws_within_view():
+    sampler = ViewSampler(12, view_size=4, rng=3)
+    for node in range(12):
+        view = set(sampler.view_of(node))
+        assert node not in view
+        assert len(view) == 4
+        peers = sampler.peers(node, 2, 0)
+        assert set(peers) <= view
+
+
+def test_view_sampler_renews_views():
+    sampler = ViewSampler(30, view_size=6, renewal_period=1, rng=4)
+    before = sampler.view_of(0)
+    sampler.peers(0, 1, 5)  # advancing rounds triggers renewal
+    after = sampler.view_of(0)
+    assert before != after or len(set(before) | set(after)) > 6
+
+
+def test_view_sampler_views_stay_valid_after_renewal():
+    sampler = ViewSampler(20, view_size=5, renewal_period=2, rng=5)
+    for round_index in range(0, 30, 3):
+        for node in range(20):
+            peers = sampler.peers(node, 3, round_index)
+            assert node not in peers
+            assert len(peers) == len(set(peers))

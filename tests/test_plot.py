@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.plot import ascii_chart
+
+
+def test_rejects_empty_and_tiny():
+    with pytest.raises(SimulationError):
+        ascii_chart({})
+    with pytest.raises(SimulationError):
+        ascii_chart({"a": ([], [])})
+    with pytest.raises(SimulationError):
+        ascii_chart({"a": ([1], [1])}, width=2)
+
+
+def test_single_series_renders():
+    chart = ascii_chart(
+        {"rlnc": ([0, 1, 2, 3], [0.0, 0.5, 0.9, 1.0])},
+        width=20,
+        height=6,
+    )
+    lines = chart.splitlines()
+    assert "* rlnc" in lines[0]
+    assert chart.count("*") >= 3  # points plotted
+    assert "1" in lines[1]  # y max label
+    assert lines[-1].strip().endswith("(x)")
+
+
+def test_multiple_series_distinct_markers():
+    chart = ascii_chart(
+        {
+            "a": ([0, 1], [0, 1]),
+            "b": ([0, 1], [1, 0]),
+        },
+        width=16,
+        height=5,
+    )
+    assert "* a" in chart
+    assert "o b" in chart
+    assert "o" in chart.splitlines()[1] or "o" in chart
+
+
+def test_constant_series_does_not_divide_by_zero():
+    chart = ascii_chart({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])})
+    assert "flat" in chart
+
+
+def test_extremes_land_on_borders():
+    chart = ascii_chart(
+        {"s": ([0, 10], [0.0, 1.0])}, width=10, height=4
+    )
+    rows = [line for line in chart.splitlines() if "|" in line]
+    assert rows[0].count("*") == 1  # max lands on top row
+    assert rows[-1].count("*") == 1  # min lands on bottom row

@@ -1,0 +1,122 @@
+"""Tests for the §III-B1 degree-reachability heuristics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree_index import DegreeIndex
+from repro.core.reachability import ReachabilityOracle
+from repro.costmodel.counters import OpCounter
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import IncrementalRref
+from repro.lt.tanner import TannerGraph
+
+
+def _setup(k, supports, decoded=()):
+    """Build a graph + index holding the given supports and decoded natives."""
+    counter = OpCounter()
+    graph = TannerGraph(k, counter=counter)
+    index = DegreeIndex(k, counter=counter)
+    for i in decoded:
+        graph.insert({i}, None)
+        index.add_decoded(i)
+    for support in supports:
+        pid, newly = graph.insert(set(support), None)
+        assert pid is not None and not newly, "test supports must store"
+        index.add_packet(pid, len(support))
+    return graph, index, ReachabilityOracle(index, graph, counter)
+
+
+def test_paper_example_mass_bound():
+    # {x1+x2+x3, x1+x3, x2+x5}: max reachable degree is 2*2 + 3 = 7.
+    _, _, oracle = _setup(8, [{1, 2, 3}, {1, 3}, {2, 5}])
+    assert oracle.is_unreachable(8)
+    assert not oracle.is_unreachable(4)  # only 4 natives covered
+
+
+def test_paper_example_coverage_bound():
+    # Degree 5 impossible: only 4 distinct natives appear (§III-B1).
+    _, _, oracle = _setup(8, [{1, 2, 3}, {1, 3}, {2, 5}])
+    assert oracle.coverage(5) >= 4
+    assert oracle.is_unreachable(5)
+
+
+def test_paper_false_negative_examples():
+    # The bounds deliberately do NOT discard these unreachable degrees.
+    _, _, oracle = _setup(8, [{1, 2}, {3, 4}])
+    assert not oracle.is_unreachable(3)  # actually unreachable, passes
+    _, _, oracle = _setup(8, [{1, 2}, {2, 3}], decoded=[4])
+    assert not oracle.is_unreachable(4)  # actually unreachable, passes
+
+
+def test_degree_one_unreachable_without_decoded():
+    _, _, oracle = _setup(8, [{1, 2}, {2, 3}])
+    assert oracle.is_unreachable(1)
+
+
+def test_degree_one_reachable_with_decoded():
+    _, _, oracle = _setup(8, [], decoded=[3])
+    assert not oracle.is_unreachable(1)
+
+
+def test_nonpositive_degrees_unreachable():
+    _, _, oracle = _setup(8, [{1, 2}])
+    assert oracle.is_unreachable(0)
+    assert oracle.is_unreachable(-3)
+
+
+def test_coverage_counts_decoded_and_supports():
+    _, _, oracle = _setup(8, [{1, 2}, {2, 3}], decoded=[5, 6])
+    assert oracle.coverage(8) == 5  # {5,6} + {1,2,3}
+    assert oracle.coverage(1) == 2  # decoded only
+
+
+def test_max_reachable_simple_cases():
+    _, _, oracle = _setup(8, [{1, 2}])
+    assert oracle.max_reachable() == 2
+    _, _, oracle = _setup(8, [], decoded=[0])
+    assert oracle.max_reachable() == 1
+    _, _, oracle = _setup(8, [])
+    assert oracle.max_reachable() == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    k=st.integers(2, 12),
+    supports=st.lists(
+        st.sets(st.integers(0, 11), min_size=2, max_size=5), max_size=8
+    ),
+    decoded=st.sets(st.integers(0, 11), max_size=4),
+    d=st.integers(1, 12),
+)
+def test_bounds_are_sound(k, supports, decoded, d):
+    """Unreachable verdicts must be correct: no combination attains d.
+
+    The bounds hold under the paper's premise that a degree-d packet is
+    built only from decoded natives and packets of degree <= d (the
+    no-collision assumption, matched by Algorithm 1), so the exhaustive
+    ground truth enumerates subsets of exactly those items.
+    """
+    decoded = {x % k for x in decoded}
+    supports = [
+        {x % k for x in s} - decoded for s in supports
+    ]
+    supports = [s for s in supports if len(s) >= 2]
+    if len(supports) > 6:
+        supports = supports[:6]
+    graph, index, oracle = _setup(k, supports, decoded=sorted(decoded))
+    if not oracle.is_unreachable(d):
+        return  # bound passed: nothing to verify (necessary, not sufficient)
+    # Exhaustively XOR all subsets of degree <= d items; none may reach d.
+    items = [frozenset(s) for s in supports if len(s) <= d] + [
+        frozenset({x}) for x in decoded
+    ]
+    n = len(items)
+    for mask in range(1, 1 << n):
+        acc: set[int] = set()
+        for j in range(n):
+            if mask >> j & 1:
+                acc ^= items[j]
+        assert len(acc) != d, (
+            f"oracle said degree {d} unreachable but subset {mask} attains it"
+        )

@@ -1,0 +1,140 @@
+"""Tests for the RLNC baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coding import EncodedPacket, make_content
+from repro.errors import DecodingError, DimensionError, RecodingError
+from repro.rlnc import RlncNode, default_sparsity
+
+
+class TestSparsity:
+    def test_paper_formula(self):
+        assert default_sparsity(2048) == math.ceil(math.log(2048) + 20)
+
+    def test_monotone_in_k(self):
+        assert default_sparsity(4096) >= default_sparsity(512) >= default_sparsity(64)
+
+    def test_small_k_safe(self):
+        assert default_sparsity(1) >= 1
+
+
+class TestNodeBasics:
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            RlncNode(0, 0)
+        with pytest.raises(DimensionError):
+            RlncNode(0, 4, sparsity=0)
+
+    def test_cannot_send_before_reception(self):
+        node = RlncNode(0, 8)
+        assert not node.can_send()
+        with pytest.raises(RecodingError):
+            node.make_packet()
+
+    def test_receive_tracks_innovation(self):
+        node = RlncNode(0, 4)
+        assert node.receive(EncodedPacket.native(4, 0))
+        assert not node.receive(EncodedPacket.native(4, 0))
+        assert node.innovative_count == 1
+        assert node.redundant_count == 1
+
+    def test_header_check_matches_receive(self):
+        node = RlncNode(0, 4)
+        p = EncodedPacket.combine(4, [0, 1])
+        assert node.header_is_innovative(p.vector)
+        node.receive(p)
+        assert not node.header_is_innovative(p.vector)
+        # x0^x1 received: x0^x1^x2 is still innovative
+        assert node.header_is_innovative(
+            EncodedPacket.combine(4, [0, 1, 2]).vector
+        )
+
+
+class TestSourceAndDecode:
+    def test_source_is_complete(self):
+        content = make_content(8, 4, rng=0)
+        src = RlncNode.as_source(8, content)
+        assert src.is_complete() and src.can_send()
+        assert np.array_equal(src.decoded_content(), content)
+
+    def test_source_symbolic(self):
+        src = RlncNode.as_source(8)
+        assert src.is_complete()
+        with pytest.raises(DecodingError):
+            src.decoded_content()
+
+    def test_end_to_end_decode_via_recoded_packets(self):
+        k, m = 16, 8
+        content = make_content(k, m, rng=1)
+        src = RlncNode.as_source(k, content, rng=1)
+        sink = RlncNode(1, k, payload_nbytes=m, rng=2)
+        guard = 0
+        while not sink.is_complete():
+            sink.receive(src.make_packet())
+            guard += 1
+            assert guard < 40 * k, "RLNC sink failed to reach full rank"
+        assert np.array_equal(sink.decoded_content(), content)
+
+    def test_multi_hop_recoding_preserves_content(self):
+        """Relay chain: source -> relay -> sink, all packets recoded."""
+        k, m = 12, 4
+        content = make_content(k, m, rng=3)
+        src = RlncNode.as_source(k, content, rng=3)
+        relay = RlncNode(1, k, payload_nbytes=m, rng=4)
+        sink = RlncNode(2, k, payload_nbytes=m, rng=5)
+        guard = 0
+        while not sink.is_complete():
+            relay.receive(src.make_packet())
+            if relay.can_send():
+                sink.receive(relay.make_packet())
+            guard += 1
+            assert guard < 100 * k
+        assert np.array_equal(sink.decoded_content(), content)
+
+
+class TestRecoding:
+    def test_recode_combines_at_most_sparsity(self):
+        k = 32
+        src = RlncNode.as_source(k, rng=0, sparsity=5)
+        # Degree of a combination of <= 5 natives is <= 5.
+        for _ in range(50):
+            assert src.make_packet().degree <= 5
+
+    def test_recoded_packet_in_span(self):
+        k = 8
+        node = RlncNode(0, k, rng=7)
+        node.receive(EncodedPacket.combine(k, [0, 1]))
+        node.receive(EncodedPacket.combine(k, [1, 2]))
+        for _ in range(20):
+            pkt = node.make_packet()
+            assert not pkt.vector.is_zero()
+            assert node.rref.contains(pkt.vector)
+
+    def test_recode_counts_data_ops(self):
+        node = RlncNode.as_source(16, rng=0)
+        node.make_packet()
+        assert node.recode_counter.get("payload_xor") >= 1
+
+    def test_single_packet_forwarding(self):
+        node = RlncNode(0, 4, rng=0)
+        node.receive(EncodedPacket.combine(4, [0, 1]))
+        pkt = node.make_packet()
+        assert pkt.support() == {0, 1}
+
+    def test_decode_cost_grows_superlinearly(self):
+        """Gauss decoding control cost must scale ~k^2 row ops (Fig. 8b)."""
+
+        def decode_ops(k):
+            content = make_content(k, 2, rng=k)
+            src = RlncNode.as_source(k, content, rng=k)
+            sink = RlncNode(1, k, payload_nbytes=2, rng=k + 1)
+            while not sink.is_complete():
+                sink.receive(src.make_packet())
+            return sink.decode_counter.get("gauss_row_xor")
+
+        small, large = decode_ops(16), decode_ops(64)
+        # 4x k should be at least ~8x the row operations (quadratic-ish).
+        assert large > 6 * small

@@ -1,0 +1,53 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.rng import derive, make_rng, spawn, stream
+
+
+class TestMakeRng:
+    def test_from_int_deterministic(self):
+        assert make_rng(5).integers(0, 1000) == make_rng(5).integers(0, 1000)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDerive:
+    def test_same_path_same_stream(self):
+        a = derive(1, "fig7", 3).integers(0, 10**9)
+        b = derive(1, "fig7", 3).integers(0, 10**9)
+        assert a == b
+
+    def test_different_paths_differ(self):
+        draws = {
+            int(derive(1, label, i).integers(0, 10**9))
+            for label in ("a", "b", "c")
+            for i in range(5)
+        }
+        assert len(draws) == 15  # all distinct with overwhelming probability
+
+    def test_string_hash_stable_across_calls(self):
+        # Guards against use of salted hash(): same process or not,
+        # the derivation must be stable.
+        assert (
+            derive(9, "convergence").integers(0, 10**9)
+            == derive(9, "convergence").integers(0, 10**9)
+        )
+
+
+class TestSpawnStream:
+    def test_spawn_children_independent(self):
+        children = spawn(make_rng(2), 4)
+        assert len(children) == 4
+        vals = {int(c.integers(0, 10**9)) for c in children}
+        assert len(vals) == 4
+
+    def test_stream_reproducible(self):
+        it1, it2 = stream(7, "mc"), stream(7, "mc")
+        for _ in range(3):
+            assert next(it1).integers(0, 10**9) == next(it2).integers(0, 10**9)

@@ -1,0 +1,107 @@
+"""Tests for the self-healing storage cluster (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.coding.packet import make_content
+from repro.errors import StorageError
+from repro.storage.cluster import StorageCluster
+
+
+def test_rejects_bad_config():
+    with pytest.raises(StorageError):
+        StorageCluster(16, 1)
+    with pytest.raises(StorageError):
+        StorageCluster(16, 4, slots_per_node=0)
+    with pytest.raises(StorageError):
+        StorageCluster(16, 4, repair_mode="bogus")
+
+
+def test_initial_population():
+    cluster = StorageCluster(32, 10, slots_per_node=3, rng=0)
+    assert len(cluster.alive_nodes()) == 10
+    assert len(cluster.stored_packets()) == 30
+    assert sum(cluster.degree_histogram().values()) == 30
+
+
+def test_object_readable_when_healthy():
+    cluster = StorageCluster(24, 12, slots_per_node=6, rng=1)
+    outcome = cluster.read_object()
+    assert outcome.success
+    assert outcome.packets_used >= 24
+
+
+def test_content_roundtrip():
+    k, m = 24, 8
+    content = make_content(k, m, rng=2)
+    cluster = StorageCluster(k, 12, slots_per_node=6, content=content, rng=3)
+    assert np.array_equal(cluster.read_content(), content)
+
+
+def test_fail_and_repair_cycle():
+    cluster = StorageCluster(24, 12, slots_per_node=4, rng=4)
+    victim = cluster.fail_random()
+    assert victim not in cluster.alive_nodes()
+    assert len(cluster.stored_packets()) == 44
+    cluster.repair_node(victim)
+    assert victim in cluster.alive_nodes()
+    assert len(cluster.stored_packets()) == 48
+    assert cluster.nodes[victim].generation == 1
+
+
+def test_fail_guards():
+    cluster = StorageCluster(16, 2, rng=5)
+    cluster.fail_node(0)
+    with pytest.raises(StorageError):
+        cluster.fail_node(0)  # already down
+    with pytest.raises(StorageError):
+        cluster.fail_random()  # would kill the last node
+    with pytest.raises(StorageError):
+        cluster.repair_node(1)  # not down
+
+
+def test_object_survives_churn_with_ltnc_repair():
+    k, m = 24, 8
+    content = make_content(k, m, rng=6)
+    cluster = StorageCluster(
+        k, 16, slots_per_node=6, content=content, repair_mode="ltnc", rng=7
+    )
+    cluster.churn(24)  # 1.5x the cluster size in failures
+    assert np.array_equal(cluster.read_content(), content)
+    assert cluster.repairs_done == 24
+
+
+def test_ltnc_repair_keeps_diversity_better_than_naive():
+    """Naive copy-repair accumulates duplicates; LTNC recodes fresh."""
+    diversity = {}
+    for mode in ("naive", "ltnc"):
+        cluster = StorageCluster(
+            32, 16, slots_per_node=4, repair_mode=mode, rng=8
+        )
+        cluster.churn(40)
+        diversity[mode] = cluster.distinct_vectors()
+    assert diversity["ltnc"] > diversity["naive"]
+
+
+def test_ltnc_repair_preserves_low_degree_mass():
+    """Repaired packets keep the RS-ish low-degree mass BP needs."""
+    cluster = StorageCluster(48, 16, slots_per_node=4, repair_mode="ltnc", rng=9)
+    cluster.churn(32)
+    hist = cluster.degree_histogram()
+    total = sum(hist.values())
+    low = sum(count for degree, count in hist.items() if degree <= 2)
+    assert low / total >= 0.25
+
+
+def test_read_object_from_sample():
+    cluster = StorageCluster(16, 20, slots_per_node=4, rng=10)
+    outcome = cluster.read_object(sample_nodes=14, rng=11)
+    assert outcome.nodes_contacted == 14
+    # With 56 packets for k=16 the read should almost surely succeed.
+    assert outcome.success
+
+
+def test_symbolic_cluster_has_no_content():
+    cluster = StorageCluster(16, 8, rng=12)
+    with pytest.raises(StorageError):
+        cluster.read_content()

@@ -1,0 +1,53 @@
+"""Unit tests for the canonical low-degree support index."""
+
+from repro.core.support_index import SupportIndex
+
+
+def test_empty():
+    idx = SupportIndex()
+    assert not idx.has({1, 2})
+    assert idx.pids({1, 2}) == frozenset()
+    assert idx.indexed_count() == 0
+
+
+def test_add_and_lookup_order_independent():
+    idx = SupportIndex()
+    idx.add(0, {3, 1})
+    assert idx.has({1, 3})
+    assert idx.has((3, 1))
+    assert idx.pids([1, 3]) == {0}
+
+
+def test_high_degree_not_indexed():
+    idx = SupportIndex()
+    idx.add(0, {1, 2, 3, 4})
+    assert idx.indexed_count() == 0
+    assert not idx.has({1, 2, 3, 4})
+    idx.remove(0)  # must not raise
+
+
+def test_update_reindexes_on_reduction():
+    idx = SupportIndex()
+    idx.add(0, {1, 2, 3, 4})  # too big: unindexed
+    idx.update(0, {2, 3, 4})  # now degree 3: indexed
+    assert idx.has({2, 3, 4})
+    idx.update(0, {3, 4})
+    assert not idx.has({2, 3, 4})
+    assert idx.has({3, 4})
+
+
+def test_parallel_packets_same_support():
+    idx = SupportIndex()
+    idx.add(0, {1, 2})
+    idx.add(1, {2, 1})
+    assert idx.pids({1, 2}) == {0, 1}
+    idx.remove(0)
+    assert idx.has({1, 2})
+    idx.remove(1)
+    assert not idx.has({1, 2})
+
+
+def test_remove_unknown_is_ignored():
+    idx = SupportIndex()
+    idx.remove(42)
+    assert idx.indexed_count() == 0
