@@ -5,7 +5,11 @@ offline environments where the ``wheel`` package (required by the PEP
 517 editable path of older setuptools) is unavailable: without a
 ``[build-system]`` table pip falls back to the legacy
 ``setup.py develop`` route, which needs nothing beyond setuptools.
-All metadata lives in ``pyproject.toml``.
+
+All metadata — name, version, the ``numpy`` runtime dependency, the
+``test`` extra (pytest, pytest-benchmark, hypothesis), the ``src``
+layout and the ``py.typed`` package data — lives in ``pyproject.toml``
+and is read from there by setuptools >= 61 even on the legacy route.
 """
 
 from setuptools import setup

@@ -34,6 +34,8 @@ Package map
 ``repro.gossip``      epidemic dissemination simulator
 ``repro.costmodel``   operation counting and the CPU-cycle model
 ``repro.experiments`` figure/table harnesses (see benchmarks/)
+``repro.scenarios``   declarative scenario specs, presets and the
+                      parallel trial runner (``python -m repro.scenarios``)
 ``repro.storage``     self-healing distributed storage application
 ``repro.baselines``   counterpoint baselines (random recoding)
 ``repro.generations`` generation-based chunking (§I optimization)

@@ -159,6 +159,14 @@ def measure_decoding(
     )
 
 
+def _measure_args(args: tuple) -> CostPoint:
+    """Tuple-splat shim so worker processes can pickle the call."""
+    operation, scheme, k, samples, seed, model = args
+    if operation == "recoding":
+        return measure_recoding(scheme, k, samples=samples, seed=seed, model=model)
+    return measure_decoding(scheme, k, seed=seed, model=model)
+
+
 def cost_series(
     operation: str,
     ks: tuple[int, ...],
@@ -166,23 +174,27 @@ def cost_series(
     samples: int = 200,
     seed: int = 0,
     model: CycleModel | None = None,
+    n_workers: int = 1,
 ) -> dict[str, list[CostPoint]]:
     """A full Figure 8 panel: one series per scheme over the k sweep.
 
-    *operation* is ``"recoding"`` or ``"decoding"``.
+    *operation* is ``"recoding"`` or ``"decoding"``.  The (scheme, k)
+    grid is independent, so ``n_workers > 1`` fans the measurements out
+    across processes without changing any number.
     """
-    if operation == "recoding":
-        measure = lambda s, k: measure_recoding(  # noqa: E731
-            s, k, samples=samples, seed=seed, model=model
-        )
-    elif operation == "decoding":
-        measure = lambda s, k: measure_decoding(  # noqa: E731
-            s, k, seed=seed, model=model
-        )
-    else:
+    if operation not in ("recoding", "decoding"):
         raise SimulationError(
             f"operation must be 'recoding' or 'decoding', got {operation!r}"
         )
-    return {
-        scheme: [measure(scheme, k) for k in ks] for scheme in schemes
-    }
+    from repro.scenarios.runner import parallel_map
+
+    grid = [
+        (operation, scheme, k, samples, seed, model)
+        for scheme in schemes
+        for k in ks
+    ]
+    points = parallel_map(_measure_args, grid, n_workers)
+    series: dict[str, list[CostPoint]] = {scheme: [] for scheme in schemes}
+    for (_, scheme, _, _, _, _), point in zip(grid, points):
+        series[scheme].append(point)
+    return series

@@ -1,6 +1,6 @@
 """Epidemic push dissemination: peer sampling, simulator, metrics."""
 
-from repro.gossip.channel import ChannelModel
+from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
 from repro.gossip.metrics import DisseminationResult
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler, ViewSampler
 from repro.gossip.simulator import EpidemicSimulator, Feedback, run_dissemination
@@ -13,6 +13,8 @@ from repro.gossip.wireless import (
 
 __all__ = [
     "ChannelModel",
+    "ChurnPhase",
+    "HeterogeneousChannel",
     "DisseminationResult",
     "PeerSampler",
     "UniformSampler",

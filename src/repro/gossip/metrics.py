@@ -101,6 +101,51 @@ class DisseminationResult:
         return self.aborted / self.sessions
 
     # ------------------------------------------------------------------
+    def key_metrics(self) -> dict[str, float | int | None]:
+        """The scalar metrics of one run, as plain JSON-able values.
+
+        Undefined statistics (no node completed) are ``None`` rather
+        than raised, so aggregation layers can stream summaries from
+        heterogeneous trials without special-casing stragglers.
+        """
+        completed = self.completed_count
+        return {
+            "rounds": self.rounds,
+            "completed": completed,
+            "completed_fraction": self.completed_fraction(),
+            "average_completion_round": (
+                self.average_completion_round() if completed else None
+            ),
+            "overhead": self.overhead() if completed else None,
+            "sessions": self.sessions,
+            "aborted": self.aborted,
+            "abort_rate": self.abort_rate(),
+            "data_transfers": self.data_transfers,
+            "useful_transfers": self.useful_transfers,
+            "redundant_transfers": self.redundant_transfers,
+            "lost_transfers": self.lost_transfers,
+            "duplicated_transfers": self.duplicated_transfers,
+            "churn_events": self.churn_events,
+            "recoded_packets": self.recoded_packets,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """Full JSON-able dump: key metrics plus series and op counts."""
+        payload = dict(self.key_metrics())
+        payload.update(
+            {
+                "scheme": self.scheme,
+                "n_nodes": self.n_nodes,
+                "k": self.k,
+                "series_rounds": list(self.series_rounds),
+                "series_completed": list(self.series_completed),
+                "recode_ops": self.recode_ops.snapshot(),
+                "decode_ops": self.decode_ops.snapshot(),
+            }
+        )
+        return payload
+
+    # ------------------------------------------------------------------
     def record_round(self, round_index: int) -> None:
         """Append one point of the Fig. 7a convergence series."""
         self.rounds = round_index + 1

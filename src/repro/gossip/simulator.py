@@ -32,7 +32,7 @@ from repro.gossip.channel import ChannelModel
 from repro.gossip.metrics import DisseminationResult
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
 from repro.gossip.source import SchemeNode, make_node, make_source
-from repro.rng import make_rng, spawn
+from repro.rng import derive, make_rng, spawn
 
 __all__ = ["Feedback", "EpidemicSimulator", "run_dissemination"]
 
@@ -66,6 +66,10 @@ class EpidemicSimulator:
         Packets injected by the source per gossip period.
     max_rounds:
         Safety horizon; the run stops earlier once every node decoded.
+    n_sources:
+        Number of independent full-content sources (replicated origins;
+        edge-cache and multi-origin scenarios use more than one).  Each
+        source injects ``source_pushes`` packets per round.
     seed:
         Master seed; node rngs are derived deterministically.
     node_kwargs:
@@ -86,6 +90,7 @@ class EpidemicSimulator:
         content: np.ndarray | None = None,
         feedback: Feedback = Feedback.BINARY,
         source_pushes: int = 4,
+        n_sources: int = 1,
         max_rounds: int = 100_000,
         seed: int | np.random.Generator | None = 0,
         node_kwargs: dict[str, object] | None = None,
@@ -99,18 +104,23 @@ class EpidemicSimulator:
             raise SimulationError(
                 f"source_pushes must be >= 1, got {source_pushes}"
             )
+        if n_sources < 1:
+            raise SimulationError(f"n_sources must be >= 1, got {n_sources}")
         self.scheme = scheme
         self.n_nodes = n_nodes
         self.k = k
         self.feedback = feedback
         self.source_pushes = source_pushes
+        self.n_sources = n_sources
         self.max_rounds = max_rounds
         master = make_rng(seed)
         rngs = spawn(master, n_nodes + 2)
         payload_nbytes = int(content.shape[1]) if content is not None else None
-        self.source: SchemeNode = make_source(
-            scheme, k, content, rng=rngs[0], **(source_kwargs or {})
-        )
+        self.sources: list[SchemeNode] = [
+            make_source(
+                scheme, k, content, rng=rngs[0], **(source_kwargs or {})
+            )
+        ]
         self.nodes: list[SchemeNode] = [
             make_node(
                 scheme,
@@ -132,10 +142,58 @@ class EpidemicSimulator:
         self._order_rng = make_rng(int(master.integers(0, 2**63)))
         self._fault_rng = make_rng(int(master.integers(0, 2**63)))
         self._node_rng_seed = int(master.integers(0, 2**63))
+        # Extra sources draw their rngs from the derive() tree so the
+        # n_sources=1 stream layout stays bit-identical to older runs.
+        for j in range(1, n_sources):
+            self.sources.append(
+                make_source(
+                    scheme,
+                    k,
+                    content,
+                    rng=derive(self._node_rng_seed, "source", j),
+                    **(source_kwargs or {}),
+                )
+            )
         self._payload_nbytes = payload_nbytes
         self._node_kwargs = dict(node_kwargs or {})
         self.result = DisseminationResult(scheme, n_nodes, k)
         self._data_received = [0] * n_nodes
+
+    @property
+    def source(self) -> SchemeNode:
+        """The first (historically only) content source."""
+        return self.sources[0]
+
+    # ------------------------------------------------------------------
+    def prewarm(self, node_ids: list[int], packets_per_node: int) -> None:
+        """Pre-load node caches before round 0 (edge-cache workloads).
+
+        Packets are drawn from the sources round-robin and delivered
+        out-of-band — no session metrics are recorded, mirroring
+        content pre-placement that happened before the gossip epoch
+        started (Recayte et al., caching at the edge with LT codes).
+        Warm packets do count as data received, so the overhead metric
+        keeps meaning "packets delivered beyond the k fundamentally
+        needed" (and stays non-negative).  A node that completes during
+        warm-up is recorded as completing at round 0.
+        """
+        if packets_per_node < 0:
+            raise SimulationError(
+                f"packets_per_node must be >= 0, got {packets_per_node}"
+            )
+        for idx, node_id in enumerate(node_ids):
+            node = self.nodes[node_id]
+            source = self.sources[idx % len(self.sources)]
+            for _ in range(packets_per_node):
+                if node.is_complete():
+                    break
+                self._data_received[node_id] += 1
+                node.receive(source.make_packet(None))
+            if node.is_complete():
+                self.result.completion_rounds.setdefault(node_id, 0)
+                self.result.data_until_complete.setdefault(
+                    node_id, self._data_received[node_id]
+                )
 
     # ------------------------------------------------------------------
     def _transfer(self, sender: SchemeNode, receiver_id: int, round_index: int) -> None:
@@ -156,7 +214,8 @@ class EpidemicSimulator:
         was_complete = receiver.is_complete()
         if not was_complete:
             self._data_received[receiver_id] += 1
-        if self.channel.loses(self._fault_rng):
+        sender_id = int(getattr(sender, "node_id", -1))
+        if self.channel.loses(self._fault_rng, sender_id, receiver_id):
             # The payload bytes were spent but never arrived.
             result.lost_transfers += 1
             return
@@ -188,8 +247,6 @@ class EpidemicSimulator:
         if not incomplete:
             return
         victim = int(incomplete[self._fault_rng.integers(len(incomplete))])
-        from repro.rng import derive
-
         self.result.churn_events += 1
         # Fold the dying node's counters so its work is not forgotten.
         old = self.nodes[victim]
@@ -214,13 +271,14 @@ class EpidemicSimulator:
 
     def step(self, round_index: int) -> None:
         """Run one gossip period."""
-        if self.channel.churns(self._fault_rng):
+        if self.channel.churns(self._fault_rng, round_index):
             self._churn()
-        # Source injection: the source is not a member of the overlay,
-        # so it draws targets uniformly itself.
-        for _ in range(self.source_pushes):
-            target = int(self._order_rng.integers(self.n_nodes))
-            self._transfer(self.source, target, round_index)
+        # Source injection: sources are not members of the overlay, so
+        # they draw targets uniformly themselves.
+        for source in self.sources:
+            for _ in range(self.source_pushes):
+                target = int(self._order_rng.integers(self.n_nodes))
+                self._transfer(source, target, round_index)
         # Node pushes, in random order for fairness.
         order = self._order_rng.permutation(self.n_nodes)
         for sender_id in order:

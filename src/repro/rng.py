@@ -13,7 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["make_rng", "derive", "spawn", "stream"]
+__all__ = ["make_rng", "derive", "derive_seed", "spawn", "stream"]
 
 
 def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -36,6 +36,11 @@ def derive(seed: int, *path: int | str) -> np.random.Generator:
     the path are hashed stably (not with :func:`hash`, which is salted
     per process).
     """
+    return np.random.default_rng(np.random.SeedSequence(_path_words(seed, path)))
+
+
+def _path_words(seed: int, path: tuple[int | str, ...]) -> list[int]:
+    """The 32-bit entropy words encoding a ``(seed, path)`` pair."""
     words: list[int] = [seed & 0xFFFFFFFF]
     for part in path:
         if isinstance(part, str):
@@ -45,7 +50,22 @@ def derive(seed: int, *path: int | str) -> np.random.Generator:
             words.append(acc)
         else:
             words.append(int(part) & 0xFFFFFFFF)
-    return np.random.default_rng(np.random.SeedSequence(words))
+    return words
+
+
+def derive_seed(seed: int, *path: int | str) -> int:
+    """Derive a stable 63-bit integer seed from *seed* and a key path.
+
+    The integer form of :func:`derive`: the same ``(seed, path)``
+    always yields the same integer, which can cross process boundaries
+    (multiprocessing workers, JSON trial manifests, shell reruns) and
+    be handed to :func:`make_rng` or a simulator ``seed=`` argument to
+    reproduce a trial standalone.
+    """
+    state = np.random.SeedSequence(_path_words(seed, path)).generate_state(
+        1, np.uint64
+    )
+    return int(state[0] >> 1)
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

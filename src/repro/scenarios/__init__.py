@@ -1,0 +1,51 @@
+"""Declarative dissemination scenarios and their parallel trial runner.
+
+:mod:`~repro.scenarios.spec` defines :class:`ScenarioSpec`, a frozen
+JSON-serialisable workload description that compiles into a configured
+:class:`~repro.gossip.simulator.EpidemicSimulator`;
+:mod:`~repro.scenarios.presets` is the built-in catalogue (``baseline``,
+``multihop_lossy``, ``edge_cache``, ``churn``);
+:mod:`~repro.scenarios.runner` fans scenario × seed grids out across
+worker processes; :mod:`~repro.scenarios.aggregate` folds the per-trial
+results into mean/CI summaries with deterministic JSON export.
+
+CLI: ``python -m repro.scenarios --scenario churn --trials 8
+--workers 4 --seed 7``.
+"""
+
+from repro.scenarios.aggregate import ScenarioAggregate, summary_stats
+from repro.scenarios.presets import (
+    PRESETS,
+    baseline,
+    churn,
+    edge_cache,
+    get_preset,
+    multihop_lossy,
+    preset_names,
+)
+from repro.scenarios.runner import (
+    TrialRunner,
+    TrialSpec,
+    parallel_map,
+    run_trial,
+    trial_seed,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioAggregate",
+    "summary_stats",
+    "PRESETS",
+    "baseline",
+    "churn",
+    "edge_cache",
+    "get_preset",
+    "multihop_lossy",
+    "preset_names",
+    "TrialRunner",
+    "TrialSpec",
+    "parallel_map",
+    "run_trial",
+    "trial_seed",
+    "ScenarioSpec",
+]

@@ -1,0 +1,98 @@
+"""CLI for the scenario catalogue and parallel trial runner.
+
+Examples::
+
+    python -m repro.scenarios --list
+    python -m repro.scenarios --scenario churn --trials 8 --workers 4 --seed 7
+    python -m repro.scenarios --scenario all --trials 4 --workers 8 \
+        --scale quick --out benchmarks/out/scenarios.json
+
+The aggregated JSON is deterministic for a given (scenario, trials,
+seed, scale): it contains no timestamps, host details or worker
+counts, so ``--workers 1`` and ``--workers 8`` emit identical bytes —
+the property the regression tests pin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.scale import PROFILES, current_profile
+from repro.scenarios.presets import get_preset, preset_names
+from repro.scenarios.runner import TrialRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run Monte-Carlo trials of a dissemination scenario "
+        "across worker processes and print the aggregated JSON.",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="baseline",
+        help="preset name or 'all' (see --list)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=4, help="Monte-Carlo repetitions"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(PROFILES),
+        default=None,
+        help="scale profile (default: LTNC_SCALE env, else 'default')",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON to this path",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenario presets and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in preset_names():
+            print(name)
+        return 0
+    if args.scale is not None:
+        profile = PROFILES[args.scale]
+    else:
+        try:
+            profile = current_profile()  # honours LTNC_SCALE
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from None
+    names = (
+        list(preset_names()) if args.scenario == "all" else [args.scenario]
+    )
+    runner = TrialRunner(n_workers=args.workers)
+    scenarios = [get_preset(name, profile) for name in names]
+    aggregates = runner.run_grid(scenarios, args.trials, args.seed)
+    if len(names) == 1:
+        payload = aggregates[names[0]].to_dict()
+    else:
+        payload = {name: aggregates[name].to_dict() for name in names}
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    if args.out:
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""Streaming aggregation of Monte-Carlo trial results.
+
+The :class:`~repro.scenarios.runner.TrialRunner` produces one
+:class:`~repro.gossip.metrics.DisseminationResult` per (scenario, seed)
+trial; this module folds them into a :class:`ScenarioAggregate` of
+per-metric mean / 95 %-CI summaries plus the raw per-trial scalars.
+
+Aggregates are *mergeable*: two aggregates of the same scenario (for
+example from two machines each running half the seed grid) combine
+into the aggregate of the union, with trials re-ordered by trial index
+— so a sharded run serialises to byte-identical JSON as a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.errors import SimulationError
+from repro.gossip.metrics import DisseminationResult
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioAggregate", "summary_stats"]
+
+#: z-score of the two-sided 95 % confidence interval (normal approx.,
+#: matching the paper's 25-repetition averages).
+_Z95 = 1.96
+
+
+def summary_stats(values: list[float]) -> dict[str, float | int | None]:
+    """Mean / 95 %-CI half-width / min / max of a metric over trials.
+
+    ``None`` entries (metric undefined for a trial, e.g. overhead when
+    no node completed) are dropped; ``n`` reports how many survived.
+    """
+    clean = [float(v) for v in values if v is not None]
+    n = len(clean)
+    if n == 0:
+        return {"n": 0, "mean": None, "ci95": None, "min": None, "max": None}
+    mean = sum(clean) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in clean) / (n - 1)
+        ci95 = _Z95 * math.sqrt(var / n)
+    else:
+        ci95 = 0.0
+    return {
+        "n": n,
+        "mean": mean,
+        "ci95": ci95,
+        "min": min(clean),
+        "max": max(clean),
+    }
+
+
+class ScenarioAggregate:
+    """Accumulates per-trial key metrics for one scenario."""
+
+    def __init__(self, scenario: ScenarioSpec, master_seed: int) -> None:
+        self.scenario = scenario
+        self.master_seed = master_seed
+        self.trials: list[dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    def add(
+        self, trial_index: int, seed: int, result: DisseminationResult
+    ) -> None:
+        """Fold one finished trial into the aggregate."""
+        record: dict[str, object] = {"trial_index": trial_index, "seed": seed}
+        record.update(result.key_metrics())
+        self.trials.append(record)
+
+    def merge(self, other: "ScenarioAggregate") -> None:
+        """Fold *other* (same scenario, disjoint trials) into this one."""
+        if other.scenario != self.scenario:
+            raise SimulationError(
+                "cannot merge aggregates of different scenarios: "
+                f"{self.scenario.name!r} vs {other.scenario.name!r}"
+            )
+        if other.master_seed != self.master_seed:
+            raise SimulationError(
+                "cannot merge aggregates with different master seeds: "
+                f"{self.master_seed} vs {other.master_seed}"
+            )
+        seen = {t["trial_index"] for t in self.trials}
+        clash = seen & {t["trial_index"] for t in other.trials}
+        if clash:
+            raise SimulationError(
+                f"duplicate trial indices in merge: {sorted(clash)}"
+            )
+        self.trials.extend(other.trials)
+        self.trials.sort(key=lambda t: t["trial_index"])  # type: ignore[arg-type,return-value]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def metric_values(self, metric: str) -> list[float]:
+        return [t.get(metric) for t in self.trials]  # type: ignore[misc]
+
+    def metrics_summary(self) -> dict[str, dict[str, float | int | None]]:
+        """Mean/CI/min/max for every scalar metric, over all trials."""
+        if not self.trials:
+            return {}
+        metrics = [
+            key
+            for key in self.trials[0]
+            if key not in ("trial_index", "seed")
+        ]
+        return {m: summary_stats(self.metric_values(m)) for m in metrics}
+
+    def to_dict(self) -> dict[str, object]:
+        """Deterministic JSON-able dump (no timestamps, no host info)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "master_seed": self.master_seed,
+            "n_trials": self.n_trials,
+            "trials": sorted(
+                self.trials, key=lambda t: t["trial_index"]  # type: ignore[arg-type,return-value]
+            ),
+            "metrics": self.metrics_summary(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def write_json(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist the aggregate under e.g. ``benchmarks/out/``."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScenarioAggregate({self.scenario.name!r}, "
+            f"trials={self.n_trials})"
+        )

@@ -1,0 +1,155 @@
+"""Built-in scenario catalogue.
+
+Four presets, each parameterised by the active
+:class:`~repro.experiments.scale.ScaleProfile` so the same scenario
+runs as a CI smoke (``LTNC_SCALE=quick``), a laptop bench (``default``)
+or at the paper's testbed size (``paper``):
+
+``baseline``
+    The paper's §IV-A setup: one source, uniform gossip, perfect
+    channel, binary feedback.
+``multihop_lossy``
+    Heterogeneous per-receiver loss modelling a multihop relay chain:
+    nodes sit in rings of increasing hop distance from the source and
+    each hop compounds erasures (Kabore et al., LT codes over
+    multihop powerline smart-grid networks).
+``edge_cache``
+    Coded edge caching (Recayte et al.): several replicated origins
+    and half the nodes pre-warmed with a partial cache of coded
+    packets before the gossip epoch starts.
+``churn``
+    A stable network hit by a mid-dissemination churn storm — a
+    scheduled burst an order of magnitude above the background rate.
+
+Add a scenario by writing a ``def my_scenario(profile) -> ScenarioSpec``
+factory and registering it in :data:`PRESETS`; everything downstream
+(CLI, runner, benches, golden tests) picks it up by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.scenarios.spec import ScenarioSpec
+from repro.gossip.channel import ChurnPhase
+
+__all__ = [
+    "PRESETS",
+    "baseline",
+    "multihop_lossy",
+    "edge_cache",
+    "churn",
+    "get_preset",
+    "preset_names",
+]
+
+#: §IV-A: aggressiveness minimising completion time, "typically 1 %".
+_LTNC_NODE_KWARGS: dict[str, object] = {"aggressiveness": 0.01}
+
+
+def _profile(profile=None):
+    if profile is not None:
+        return profile
+    # Imported lazily: repro.experiments imports repro.scenarios for
+    # its parallel map, so a module-level import here would be a cycle.
+    from repro.experiments.scale import current_profile
+
+    return current_profile()
+
+
+def baseline(profile=None) -> ScenarioSpec:
+    """The paper's dissemination setup at the active profile's size."""
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="baseline",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def multihop_lossy(profile=None) -> ScenarioSpec:
+    """Per-receiver loss compounding with hop distance from the source.
+
+    Nodes are split into four rings; ring *r* loses each payload with
+    probability ``1 - (1 - p_hop)^(r+1)`` for a per-hop erasure rate of
+    5 % — the closed form for a relay chain of independent hops.
+    """
+    p = _profile(profile)
+    per_hop = 0.05
+    rings = 4
+    ring_size = (p.n_nodes + rings - 1) // rings
+    node_loss = tuple(
+        round(1.0 - (1.0 - per_hop) ** (i // ring_size + 1), 6)
+        for i in range(p.n_nodes)
+    )
+    return ScenarioSpec(
+        name="multihop_lossy",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        node_loss=node_loss,
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def edge_cache(profile=None) -> ScenarioSpec:
+    """Replicated origins plus pre-warmed caches at half the nodes."""
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="edge_cache",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        n_sources=2,
+        warm_fraction=0.5,
+        warm_packets=p.k_default // 2,
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def churn(profile=None) -> ScenarioSpec:
+    """Background churn with a ten-fold storm early in the epoch."""
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="churn",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        churn_rate=0.01,
+        churn_phases=(ChurnPhase(start=20, end=60, rate=0.1),),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
+    "baseline": baseline,
+    "multihop_lossy": multihop_lossy,
+    "edge_cache": edge_cache,
+    "churn": churn,
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    return tuple(sorted(PRESETS))
+
+
+def get_preset(name: str, profile=None) -> ScenarioSpec:
+    """Instantiate a preset scenario at the given (or active) profile."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scenario {name!r}; expected one of {preset_names()}"
+        ) from None
+    return factory(profile)

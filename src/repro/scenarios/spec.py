@@ -1,0 +1,196 @@
+"""Declarative scenario descriptions for dissemination experiments.
+
+A :class:`ScenarioSpec` is a frozen, JSON-serialisable description of
+one dissemination workload: network size, scheme, code length, channel
+imperfections (globally or per receiver), churn schedule, number of
+content sources, cache warm-up, and peer-sampling configuration.  It
+compiles down to a fully configured
+:class:`~repro.gossip.simulator.EpidemicSimulator` via :meth:`build`,
+so a trial is reproducible from nothing but the spec dict and an
+integer seed — which is exactly what the parallel
+:class:`~repro.scenarios.runner.TrialRunner` ships to its workers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.errors import SimulationError
+from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
+from repro.gossip.peer_sampling import PeerSampler, ViewSampler
+from repro.gossip.simulator import EpidemicSimulator, Feedback
+from repro.gossip.source import SCHEMES
+from repro.rng import derive
+
+__all__ = ["ScenarioSpec"]
+
+_FEEDBACKS = tuple(f.value for f in Feedback)
+_SAMPLERS = ("uniform", "view")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One dissemination workload, declaratively.
+
+    Every field is a plain JSON type (or a tuple of them), so a spec
+    round-trips losslessly through :meth:`to_dict` / :meth:`from_dict`
+    and :meth:`to_json` / :meth:`from_json`.
+    """
+
+    name: str
+    scheme: str = "ltnc"
+    n_nodes: int = 32
+    k: int = 64
+    feedback: str = "binary"
+    source_pushes: int = 4
+    n_sources: int = 1
+    max_rounds: int = 200_000
+    # -- channel imperfections ----------------------------------------
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    churn_rate: float = 0.0
+    node_loss: tuple[float, ...] = ()
+    churn_phases: tuple[ChurnPhase, ...] = ()
+    # -- cache warm-up (edge-cache workloads) -------------------------
+    warm_fraction: float = 0.0
+    warm_packets: int = 0
+    # -- peer sampling ------------------------------------------------
+    sampler: str = "uniform"
+    view_size: int = 8
+    renewal_period: int = 1
+    # -- scheme-specific node knobs -----------------------------------
+    node_kwargs: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("scenario name must be non-empty")
+        if self.scheme not in SCHEMES:
+            raise SimulationError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.feedback not in _FEEDBACKS:
+            raise SimulationError(
+                f"feedback must be one of {_FEEDBACKS}, got {self.feedback!r}"
+            )
+        if self.sampler not in _SAMPLERS:
+            raise SimulationError(
+                f"sampler must be one of {_SAMPLERS}, got {self.sampler!r}"
+            )
+        if self.n_nodes < 2:
+            raise SimulationError(f"n_nodes must be >= 2, got {self.n_nodes}")
+        if self.k < 1:
+            raise SimulationError(f"k must be >= 1, got {self.k}")
+        if self.node_loss and len(self.node_loss) != self.n_nodes:
+            raise SimulationError(
+                f"node_loss must list one rate per node "
+                f"({self.n_nodes}), got {len(self.node_loss)}"
+            )
+        if not 0.0 <= self.warm_fraction <= 1.0:
+            raise SimulationError(
+                f"warm_fraction must be in [0, 1], got {self.warm_fraction}"
+            )
+        if self.warm_packets < 0:
+            raise SimulationError(
+                f"warm_packets must be >= 0, got {self.warm_packets}"
+            )
+        # Tuple-ify sequence fields so equality and hashing behave even
+        # when callers pass lists (e.g. straight out of JSON).
+        object.__setattr__(self, "node_loss", tuple(float(r) for r in self.node_loss))
+        object.__setattr__(
+            self,
+            "churn_phases",
+            tuple(
+                p if isinstance(p, ChurnPhase) else ChurnPhase(**p)
+                for p in self.churn_phases
+            ),
+        )
+
+    # -- compilation ---------------------------------------------------
+    def channel(self) -> ChannelModel:
+        """The channel model this spec describes."""
+        if self.node_loss or self.churn_phases:
+            return HeterogeneousChannel(
+                loss_rate=self.loss_rate,
+                duplicate_rate=self.duplicate_rate,
+                churn_rate=self.churn_rate,
+                node_loss=self.node_loss,
+                churn_phases=self.churn_phases,
+            )
+        return ChannelModel(
+            loss_rate=self.loss_rate,
+            duplicate_rate=self.duplicate_rate,
+            churn_rate=self.churn_rate,
+        )
+
+    def _sampler(self, seed: int) -> PeerSampler | None:
+        if self.sampler == "uniform":
+            return None  # the simulator's own uniform default
+        return ViewSampler(
+            self.n_nodes,
+            view_size=self.view_size,
+            renewal_period=self.renewal_period,
+            rng=derive(seed, "sampler", self.name),
+        )
+
+    def build(self, seed: int) -> EpidemicSimulator:
+        """Compile the spec into a ready-to-run simulator.
+
+        The same ``(spec, seed)`` pair always builds a bit-identical
+        simulator, including the cache warm-up, so any trial of a
+        parallel sweep can be reproduced standalone.
+        """
+        sim = EpidemicSimulator(
+            self.scheme,
+            self.n_nodes,
+            self.k,
+            feedback=Feedback(self.feedback),
+            source_pushes=self.source_pushes,
+            n_sources=self.n_sources,
+            max_rounds=self.max_rounds,
+            seed=seed,
+            node_kwargs=dict(self.node_kwargs),
+            sampler=self._sampler(seed),
+            channel=self.channel(),
+        )
+        n_warm = int(round(self.warm_fraction * self.n_nodes))
+        if n_warm and self.warm_packets:
+            warm_rng = derive(seed, "prewarm", self.name)
+            warm_ids = [
+                int(i)
+                for i in warm_rng.choice(self.n_nodes, size=n_warm, replace=False)
+            ]
+            sim.prewarm(warm_ids, self.warm_packets)
+        return sim
+
+    def run(self, seed: int):
+        """Build and run one trial; returns the DisseminationResult."""
+        return self.build(seed).run()
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """A plain-JSON dict (tuples become lists) that round-trips."""
+        payload = asdict(self)
+        payload["node_loss"] = list(self.node_loss)
+        payload["churn_phases"] = [asdict(p) for p in self.churn_phases]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (lists accepted)."""
+        data = dict(payload)
+        data["node_loss"] = tuple(data.get("node_loss") or ())
+        data["churn_phases"] = tuple(data.get("churn_phases") or ())
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self, **kwargs: object) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def with_(self, **changes: object) -> "ScenarioSpec":
+        """A copy with some fields replaced (profile rescaling etc.)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

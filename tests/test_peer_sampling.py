@@ -73,3 +73,31 @@ def test_view_sampler_views_stay_valid_after_renewal():
             peers = sampler.peers(node, 3, round_index)
             assert node not in peers
             assert len(peers) == len(set(peers))
+
+
+def test_degenerate_two_node_network_always_picks_the_other():
+    # N=2 is the smallest legal overlay; the only valid draw is the
+    # other node, for both sampler flavours, at any round.
+    uniform = UniformSampler(2, rng=6)
+    view = ViewSampler(2, view_size=4, rng=7)
+    for round_index in range(25):
+        assert uniform.peers(0, 1, round_index) == [1]
+        assert uniform.peers(1, 1, round_index) == [0]
+        assert view.peers(0, 1, round_index) == [1]
+        assert view.peers(1, 1, round_index) == [0]
+
+
+def test_view_sampler_clips_view_to_membership():
+    sampler = ViewSampler(3, view_size=10, rng=8)
+    for node in range(3):
+        view = sampler.view_of(node)
+        assert len(view) == 2
+        assert node not in view
+
+
+def test_view_sampler_never_self_samples_under_heavy_renewal():
+    sampler = ViewSampler(10, view_size=3, renewal_period=1, rng=9)
+    for round_index in range(200):
+        node = round_index % 10
+        assert node not in sampler.peers(node, 2, round_index)
+        assert node not in sampler.view_of(node)

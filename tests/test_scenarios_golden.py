@@ -1,0 +1,74 @@
+"""Golden regression tests for the scenario presets.
+
+Each preset runs its ``quick`` profile with a pinned seed; the key
+metrics are asserted against checked-in golden values with tolerances
+wide enough to absorb cross-platform numpy stream differences but
+tight enough to catch a changed default, a broken channel hook, or a
+reshuffled seed tree.  Structural expectations (churn storms actually
+churn, multihop links actually lose, warm caches actually help) are
+asserted exactly.
+"""
+
+import pytest
+
+from repro.experiments.scale import PROFILES
+from repro.scenarios import TrialRunner, get_preset
+
+QUICK = PROFILES["quick"]
+SEED = 2010
+TRIALS = 3
+
+#: mean over 3 pinned-seed quick trials, recorded at introduction time.
+GOLDEN = {
+    "baseline": {"rounds": 66.67, "average_completion_round": 52.31, "overhead": 0.8663},
+    "multihop_lossy": {"rounds": 80.67, "average_completion_round": 57.33, "overhead": 1.0868},
+    "edge_cache": {"rounds": 45.67, "average_completion_round": 28.33, "overhead": 0.6259},
+    "churn": {"rounds": 90.67, "average_completion_round": 58.47, "overhead": 0.7483},
+}
+
+
+@pytest.fixture(scope="module")
+def aggregates():
+    runner = TrialRunner(n_workers=1)
+    specs = [get_preset(name, QUICK) for name in GOLDEN]
+    return runner.run_grid(specs, TRIALS, master_seed=SEED)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_preset_completes_fully(aggregates, name):
+    summary = aggregates[name].metrics_summary()
+    assert summary["completed_fraction"]["mean"] == 1.0
+    assert summary["completed_fraction"]["min"] == 1.0
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_preset_matches_golden_metrics(aggregates, name):
+    summary = aggregates[name].metrics_summary()
+    golden = GOLDEN[name]
+    assert summary["rounds"]["mean"] == pytest.approx(golden["rounds"], rel=0.35)
+    assert summary["average_completion_round"]["mean"] == pytest.approx(
+        golden["average_completion_round"], rel=0.35
+    )
+    assert summary["overhead"]["mean"] == pytest.approx(
+        golden["overhead"], rel=0.5
+    )
+
+
+def test_churn_preset_actually_churns(aggregates):
+    summary = aggregates["churn"].metrics_summary()
+    assert summary["churn_events"]["min"] >= 1
+
+
+def test_multihop_preset_actually_loses(aggregates):
+    summary = aggregates["multihop_lossy"].metrics_summary()
+    assert summary["lost_transfers"]["min"] >= 1
+    # Lossy links slow dissemination relative to the clean baseline.
+    baseline = aggregates["baseline"].metrics_summary()
+    assert summary["rounds"]["mean"] > baseline["rounds"]["mean"]
+
+
+def test_edge_cache_preset_beats_cold_start(aggregates):
+    cached = aggregates["edge_cache"].metrics_summary()
+    baseline = aggregates["baseline"].metrics_summary()
+    assert cached["rounds"]["mean"] < baseline["rounds"]["mean"]
+    assert cached["overhead"]["mean"] < baseline["overhead"]["mean"]

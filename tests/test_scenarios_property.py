@@ -1,0 +1,115 @@
+"""Property-based tests for scenario serialisation and the runner.
+
+Two contracts:
+
+* any :class:`ScenarioSpec` — however exotic — round-trips losslessly
+  through its dict and JSON serialisations (hypothesis-generated);
+* a :class:`TrialRunner` with ``n_workers=1`` produces bitwise-identical
+  aggregated JSON to ``n_workers=4`` for the same master seed.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.channel import ChurnPhase
+from repro.scenarios import ScenarioSpec, TrialRunner, get_preset
+from repro.experiments.scale import PROFILES
+
+_probability = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_-0123456789", min_size=1, max_size=16
+)
+
+
+@st.composite
+def churn_phases(draw):
+    start = draw(st.integers(min_value=0, max_value=500))
+    length = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=500)))
+    end = None if length is None else start + length
+    return ChurnPhase(start=start, end=end, rate=draw(_probability))
+
+
+@st.composite
+def scenario_specs(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=64))
+    node_loss = draw(
+        st.one_of(
+            st.just(()),
+            st.tuples(*([_probability] * n_nodes)),
+        )
+    )
+    return ScenarioSpec(
+        name=draw(_names),
+        scheme=draw(st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"])),
+        n_nodes=n_nodes,
+        k=draw(st.integers(min_value=1, max_value=256)),
+        feedback=draw(st.sampled_from(["none", "binary", "full"])),
+        source_pushes=draw(st.integers(min_value=1, max_value=8)),
+        n_sources=draw(st.integers(min_value=1, max_value=4)),
+        max_rounds=draw(st.integers(min_value=1, max_value=10**6)),
+        loss_rate=draw(_probability),
+        duplicate_rate=draw(_probability),
+        churn_rate=draw(_probability),
+        node_loss=node_loss,
+        churn_phases=tuple(
+            draw(st.lists(churn_phases(), max_size=4))
+        ),
+        warm_fraction=draw(_probability),
+        warm_packets=draw(st.integers(min_value=0, max_value=128)),
+        sampler=draw(st.sampled_from(["uniform", "view"])),
+        view_size=draw(st.integers(min_value=1, max_value=32)),
+        renewal_period=draw(st.integers(min_value=1, max_value=16)),
+        node_kwargs=draw(
+            st.dictionaries(
+                _names,
+                st.one_of(st.integers(-100, 100), _probability, st.booleans()),
+                max_size=3,
+            )
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_spec_roundtrips_through_dict(spec):
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_spec_roundtrips_through_json(spec):
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    # The dict form must itself be pure JSON (no tuples, no dataclasses).
+    assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_specs(), scenario_specs())
+def test_distinct_specs_serialise_distinctly(a, b):
+    assert (a == b) == (a.to_json() == b.to_json())
+
+
+def test_parallel_runner_bitwise_matches_serial():
+    spec = ScenarioSpec(
+        name="parallel-check",
+        n_nodes=8,
+        k=16,
+        churn_rate=0.05,
+        loss_rate=0.1,
+        node_kwargs={"aggressiveness": 0.01},
+    )
+    serial = TrialRunner(n_workers=1).run(spec, 4, master_seed=7)
+    parallel = TrialRunner(n_workers=4).run(spec, 4, master_seed=7)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_parallel_grid_bitwise_matches_serial_on_preset():
+    spec = get_preset("churn", PROFILES["quick"])
+    serial = TrialRunner(n_workers=1).run_grid([spec], 4, master_seed=7)
+    parallel = TrialRunner(n_workers=4).run_grid([spec], 4, master_seed=7)
+    assert serial["churn"].to_json() == parallel["churn"].to_json()
