@@ -36,6 +36,8 @@ Package map
 ``repro.experiments`` figure/table harnesses (see benchmarks/)
 ``repro.scenarios``   declarative scenario specs, presets and the
                       parallel trial runner (``python -m repro.scenarios``)
+``repro.topology``    graph-structured overlays: generators, the
+                      neighbourhood sampler, hop/weight loss channels
 ``repro.storage``     self-healing distributed storage application
 ``repro.baselines``   counterpoint baselines (random recoding)
 ``repro.generations`` generation-based chunking (§I optimization)

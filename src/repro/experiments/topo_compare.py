@@ -1,0 +1,160 @@
+"""Topology comparison sweep — dissemination delay and overhead.
+
+Not a paper figure: the paper's testbed gossips over a uniform
+overlay, and §VI argues the interesting deployments are structured.
+This driver runs the same LTNC dissemination over the graph-structured
+scenario presets (``powerline_multihop``, ``scalefree_p2p``,
+``sensor_grid``, ``smallworld_gossip``) next to the uniform
+``baseline``, under the parallel trial runner, and tabulates how the
+overlay's shape moves the §IV-B metrics: completion delay (diameter
+bound vs small-world shortcuts), communication overhead, and the loss
+paid to multihop links.
+
+Library use::
+
+    from repro.experiments.topo_compare import run_topo_compare
+    aggregates = run_topo_compare(n_workers=4)
+
+CLI use::
+
+    python -m repro.experiments.topo_compare --trials 4 --workers 4 \
+        --scale quick --out benchmarks/out/topo_compare.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenarios.aggregate import ScenarioAggregate
+from repro.scenarios.presets import TOPOLOGY_PRESETS, get_preset
+from repro.scenarios.runner import TrialRunner
+
+__all__ = ["run_topo_compare", "comparison_rows", "main"]
+
+#: Sweep columns: (metrics_summary key, short report header).
+_COLUMNS = (
+    ("rounds", "rounds"),
+    ("average_completion_round", "avg_complete"),
+    ("overhead", "overhead"),
+    ("lost_transfers", "lost"),
+    ("aborted", "aborted"),
+)
+
+
+def run_topo_compare(
+    presets: tuple[str, ...] = TOPOLOGY_PRESETS,
+    n_trials: int | None = None,
+    master_seed: int = 2010,
+    n_workers: int = 1,
+    profile=None,
+    include_baseline: bool = True,
+) -> dict[str, ScenarioAggregate]:
+    """Run the topology sweep; one aggregate per preset.
+
+    Trials fan out across ``n_workers`` processes with the runner's
+    usual guarantees (bit-reproducible seeds, worker-count-invariant
+    aggregates).  ``n_trials`` defaults to the profile's Monte-Carlo
+    count (at least 2, so CIs exist).
+    """
+    from repro.experiments.scale import current_profile
+
+    p = profile if profile is not None else current_profile()
+    trials = n_trials if n_trials is not None else max(2, p.monte_carlo)
+    names = (("baseline",) if include_baseline else ()) + tuple(presets)
+    specs = [get_preset(name, p) for name in names]
+    return TrialRunner(n_workers=n_workers).run_grid(
+        specs, trials, master_seed=master_seed
+    )
+
+
+def comparison_rows(
+    aggregates: dict[str, ScenarioAggregate],
+) -> tuple[list[str], list[list[str]]]:
+    """``(header, rows)`` of the sweep table, presets in run order."""
+    header = ["scenario"] + [label for _, label in _COLUMNS]
+    rows = []
+    for name, aggregate in aggregates.items():
+        summary = aggregate.metrics_summary()
+        row = [name]
+        for key, _ in _COLUMNS:
+            stats = summary[key]
+            mean = stats["mean"]
+            row.append(
+                "n/a" if mean is None else f"{mean:.2f}±{stats['ci95']:.2f}"
+            )
+        rows.append(row)
+    return header, rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.topo_compare",
+        description="Sweep dissemination delay/overhead across "
+        "graph-structured overlays under the parallel trial runner.",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="Monte-Carlo repetitions"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    parser.add_argument("--seed", type=int, default=2010, help="master seed")
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="scale profile (default: LTNC_SCALE env, else 'default')",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the aggregate JSON here"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.trials is not None and args.trials < 1:
+        parser.error(f"--trials must be >= 1, got {args.trials}")
+
+    from repro.experiments.scale import PROFILES, current_profile
+
+    if args.scale is not None:
+        if args.scale not in PROFILES:
+            parser.error(
+                f"unknown scale {args.scale!r}; "
+                f"expected one of: {', '.join(sorted(PROFILES))}"
+            )
+        profile = PROFILES[args.scale]
+    else:
+        profile = current_profile()
+
+    aggregates = run_topo_compare(
+        n_trials=args.trials,
+        master_seed=args.seed,
+        n_workers=args.workers,
+        profile=profile,
+    )
+    header, rows = comparison_rows(aggregates)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    print(fmt.format(*header))
+    for row in rows:
+        print(fmt.format(*row))
+    if args.out:
+        import pathlib
+
+        payload = {
+            name: aggregate.to_dict()
+            for name, aggregate in aggregates.items()
+        }
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,6 @@ because the inference invented knowledge.  Tests pin this down.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,12 +40,23 @@ from repro.core.feedback import FeedbackState
 from repro.errors import SimulationError
 from repro.gossip.source import SchemeNode, make_node, make_source
 from repro.rng import make_rng, spawn
+from repro.topology.generators import random_geometric
+from repro.topology.graph import Graph
 
 __all__ = ["WirelessTopology", "WirelessResult", "WirelessSimulator"]
 
 
 class WirelessTopology:
-    """A connected random geometric graph on the unit square."""
+    """A connected random geometric graph on the unit square.
+
+    Thin wrapper over :func:`repro.topology.generators.random_geometric`
+    — the shared graph core owns the geometry, adjacency and the
+    radius-growth connectivity repair; this class keeps the historic
+    public surface (``positions``, ``radius``, ``neighbors`` …) that
+    the wireless simulator and benches were built against.  The rng
+    draw order is unchanged, so seeded topologies are bit-identical to
+    pre-refactor ones.
+    """
 
     def __init__(
         self,
@@ -55,55 +65,28 @@ class WirelessTopology:
         rng: np.random.Generator | int | None = None,
         max_radius_growth: int = 20,
     ) -> None:
-        if n_nodes < 2:
-            raise SimulationError(f"need at least 2 nodes, got {n_nodes}")
-        if not 0 < radius <= 1.5:
-            raise SimulationError(f"radius must be in (0, 1.5], got {radius}")
-        generator = make_rng(rng)
+        self.graph: Graph = random_geometric(
+            n_nodes,
+            radius=radius,
+            rng=rng,
+            max_radius_growth=max_radius_growth,
+        )
         self.n_nodes = n_nodes
-        self.positions = generator.random((n_nodes, 2))
-        self.radius = radius
-        for _ in range(max_radius_growth):
-            self._build_adjacency()
-            if self.is_connected():
-                break
-            self.radius *= 1.2
-        else:
-            raise SimulationError(
-                "could not connect the topology within the growth budget"
-            )
-
-    def _build_adjacency(self) -> None:
-        delta = self.positions[:, None, :] - self.positions[None, :, :]
-        dist = np.sqrt((delta**2).sum(axis=2))
-        close = dist <= self.radius
-        np.fill_diagonal(close, False)
-        self._neighbors = [
-            np.flatnonzero(close[i]).tolist() for i in range(self.n_nodes)
-        ]
+        self.positions = self.graph.positions
+        self.radius: float = self.graph.radius  # type: ignore[attr-defined]
 
     def neighbors(self, node_id: int) -> list[int]:
         """Nodes within radio range of *node_id*."""
-        return list(self._neighbors[node_id])
+        return self.graph.neighbors(node_id)
 
     def degree(self, node_id: int) -> int:
-        return len(self._neighbors[node_id])
+        return self.graph.degree(node_id)
 
     def average_degree(self) -> float:
-        return float(
-            np.mean([len(n) for n in self._neighbors])
-        )
+        return self.graph.average_degree()
 
     def is_connected(self) -> bool:
-        seen = {0}
-        queue = deque([0])
-        while queue:
-            u = queue.popleft()
-            for v in self._neighbors[u]:
-                if v not in seen:
-                    seen.add(v)
-                    queue.append(v)
-        return len(seen) == self.n_nodes
+        return self.graph.is_connected()
 
 
 @dataclass

@@ -4,7 +4,10 @@
 JSON-serialisable workload description that compiles into a configured
 :class:`~repro.gossip.simulator.EpidemicSimulator`;
 :mod:`~repro.scenarios.presets` is the built-in catalogue (``baseline``,
-``multihop_lossy``, ``edge_cache``, ``churn``);
+``multihop_lossy``, ``edge_cache``, ``churn``, plus the
+graph-structured ``sensor_grid``, ``smallworld_gossip``,
+``scalefree_p2p`` and ``powerline_multihop`` riding
+:mod:`repro.topology`);
 :mod:`~repro.scenarios.runner` fans scenario × seed grids out across
 worker processes; :mod:`~repro.scenarios.aggregate` folds the per-trial
 results into mean/CI summaries with deterministic JSON export.
@@ -16,12 +19,17 @@ CLI: ``python -m repro.scenarios --scenario churn --trials 8
 from repro.scenarios.aggregate import ScenarioAggregate, summary_stats
 from repro.scenarios.presets import (
     PRESETS,
+    TOPOLOGY_PRESETS,
     baseline,
     churn,
     edge_cache,
     get_preset,
     multihop_lossy,
+    powerline_multihop,
     preset_names,
+    scalefree_p2p,
+    sensor_grid,
+    smallworld_gossip,
 )
 from repro.scenarios.runner import (
     TrialRunner,
@@ -31,17 +39,24 @@ from repro.scenarios.runner import (
     trial_seed,
 )
 from repro.scenarios.spec import ScenarioSpec
+from repro.topology.spec import TopologySpec
 
 __all__ = [
     "ScenarioAggregate",
     "summary_stats",
     "PRESETS",
+    "TOPOLOGY_PRESETS",
     "baseline",
     "churn",
     "edge_cache",
     "get_preset",
     "multihop_lossy",
+    "powerline_multihop",
     "preset_names",
+    "scalefree_p2p",
+    "sensor_grid",
+    "smallworld_gossip",
+    "TopologySpec",
     "TrialRunner",
     "TrialSpec",
     "parallel_map",

@@ -20,7 +20,7 @@ import json
 import sys
 
 from repro.experiments.scale import PROFILES, current_profile
-from repro.scenarios.presets import get_preset, preset_names
+from repro.scenarios.presets import PRESETS, get_preset, preset_names
 from repro.scenarios.runner import TrialRunner
 
 
@@ -60,11 +60,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.list:
         for name in preset_names():
-            print(name)
+            factory = PRESETS[name]
+            lines = (factory.__doc__ or "").strip().splitlines()
+            summary = lines[0] if lines else ""
+            print(f"{name:20s} {summary}" if summary else name)
         return 0
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.trials < 1:
+        parser.error(f"--trials must be >= 1, got {args.trials}")
+    if args.scenario != "all" and args.scenario not in PRESETS:
+        catalogue = ", ".join(preset_names())
+        parser.error(
+            f"unknown scenario {args.scenario!r}; "
+            f"choose one of: {catalogue} (or 'all', see --list)"
+        )
     if args.scale is not None:
         profile = PROFILES[args.scale]
     else:

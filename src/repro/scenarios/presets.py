@@ -21,6 +21,23 @@ or at the paper's testbed size (``paper``):
     A stable network hit by a mid-dissemination churn storm — a
     scheduled burst an order of magnitude above the background rate.
 
+Four more presets ride the :mod:`repro.topology` subsystem — gossip
+constrained to graph neighbourhoods, loss derived from hop distance:
+
+``sensor_grid``
+    A 2-D sensor lattice with per-hop erasures; the sink (source)
+    feeds the corner node's neighbourhood.
+``smallworld_gossip``
+    A Watts–Strogatz small-world overlay with a long-range escape
+    probability on top of the rewired shortcuts.
+``scalefree_p2p``
+    A Barabási–Albert scale-free overlay: hubs dominate the gossip
+    exchange, leaves depend on them.
+``powerline_multihop``
+    A pure feeder line with compounding per-hop loss — the
+    graph-exact version of ``multihop_lossy``'s ring approximation
+    (Kabore et al.).
+
 Add a scenario by writing a ``def my_scenario(profile) -> ScenarioSpec``
 factory and registering it in :data:`PRESETS`; everything downstream
 (CLI, runner, benches, golden tests) picks it up by name.
@@ -33,13 +50,19 @@ from typing import Callable
 from repro.errors import SimulationError
 from repro.scenarios.spec import ScenarioSpec
 from repro.gossip.channel import ChurnPhase
+from repro.topology.spec import TopologySpec
 
 __all__ = [
     "PRESETS",
+    "TOPOLOGY_PRESETS",
     "baseline",
     "multihop_lossy",
     "edge_cache",
     "churn",
+    "sensor_grid",
+    "smallworld_gossip",
+    "scalefree_p2p",
+    "powerline_multihop",
     "get_preset",
     "preset_names",
 ]
@@ -132,12 +155,112 @@ def churn(profile=None) -> ScenarioSpec:
     )
 
 
+def sensor_grid(profile=None) -> ScenarioSpec:
+    """A 2-D sensor lattice: neighbourhood gossip, per-hop erasures."""
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="sensor_grid",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        sampler="topology",
+        topology=TopologySpec(
+            graph="grid2d",
+            loss_mode="hop",
+            per_hop_loss=0.02,
+            root=0,
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def smallworld_gossip(profile=None) -> ScenarioSpec:
+    """Watts–Strogatz neighbourhood gossip with long-range escapes."""
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="smallworld_gossip",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        sampler="topology",
+        topology=TopologySpec(
+            graph="watts_strogatz",
+            params={"k_nearest": 4, "rewire_p": 0.1},
+            escape=0.05,
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def scalefree_p2p(profile=None) -> ScenarioSpec:
+    """Barabási–Albert scale-free overlay: hub-mediated dissemination."""
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="scalefree_p2p",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        sampler="topology",
+        topology=TopologySpec(
+            graph="barabasi_albert",
+            params={"m_attach": 2},
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def powerline_multihop(profile=None) -> ScenarioSpec:
+    """A feeder line with loss compounding exactly with hop distance.
+
+    The graph-exact successor of ``multihop_lossy``: instead of four
+    loss rings approximating a relay chain, every link of the line
+    loses 3 % and a transfer crossing *d* hops survives *d*
+    independent erasures — including the head-end source's pushes down
+    the feeder (Kabore et al., LT codes over powerline smart grids).
+    """
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="powerline_multihop",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        sampler="topology",
+        topology=TopologySpec(
+            graph="line",
+            loss_mode="hop",
+            per_hop_loss=0.03,
+            root=0,
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
 PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "baseline": baseline,
     "multihop_lossy": multihop_lossy,
     "edge_cache": edge_cache,
     "churn": churn,
+    "sensor_grid": sensor_grid,
+    "smallworld_gossip": smallworld_gossip,
+    "scalefree_p2p": scalefree_p2p,
+    "powerline_multihop": powerline_multihop,
 }
+
+#: The graph-structured subset (the ``topo_compare`` sweep's default).
+TOPOLOGY_PRESETS: tuple[str, ...] = (
+    "powerline_multihop",
+    "scalefree_p2p",
+    "sensor_grid",
+    "smallworld_gossip",
+)
 
 
 def preset_names() -> tuple[str, ...]:

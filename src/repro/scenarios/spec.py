@@ -3,7 +3,10 @@
 A :class:`ScenarioSpec` is a frozen, JSON-serialisable description of
 one dissemination workload: network size, scheme, code length, channel
 imperfections (globally or per receiver), churn schedule, number of
-content sources, cache warm-up, and peer-sampling configuration.  It
+content sources, cache warm-up, peer-sampling configuration, and — for
+graph-shaped workloads — an embedded
+:class:`~repro.topology.spec.TopologySpec` that compiles into a
+topology-aware sampler and channel.  It
 compiles down to a fully configured
 :class:`~repro.gossip.simulator.EpidemicSimulator` via :meth:`build`,
 so a trial is reproducible from nothing but the spec dict and an
@@ -22,11 +25,12 @@ from repro.gossip.peer_sampling import PeerSampler, ViewSampler
 from repro.gossip.simulator import EpidemicSimulator, Feedback
 from repro.gossip.source import SCHEMES
 from repro.rng import derive
+from repro.topology.spec import TopologySpec
 
 __all__ = ["ScenarioSpec"]
 
 _FEEDBACKS = tuple(f.value for f in Feedback)
-_SAMPLERS = ("uniform", "view")
+_SAMPLERS = ("uniform", "view", "topology")
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,8 @@ class ScenarioSpec:
     sampler: str = "uniform"
     view_size: int = 8
     renewal_period: int = 1
+    # -- structured overlay (graph-shaped workloads) ------------------
+    topology: TopologySpec | None = None
     # -- scheme-specific node knobs -----------------------------------
     node_kwargs: dict[str, object] = field(default_factory=dict)
 
@@ -105,6 +111,21 @@ class ScenarioSpec:
                 for p in self.churn_phases
             ),
         )
+        if self.topology is not None and not isinstance(
+            self.topology, TopologySpec
+        ):
+            object.__setattr__(
+                self, "topology", TopologySpec.from_dict(self.topology)
+            )
+        if self.sampler == "topology" and self.topology is None:
+            raise SimulationError(
+                "sampler 'topology' requires a topology field"
+            )
+        if self.topology is not None and self.topology.root >= self.n_nodes:
+            raise SimulationError(
+                f"topology root {self.topology.root} outside node range "
+                f"[0, {self.n_nodes})"
+            )
 
     # -- compilation ---------------------------------------------------
     def channel(self) -> ChannelModel:
@@ -124,8 +145,8 @@ class ScenarioSpec:
         )
 
     def _sampler(self, seed: int) -> PeerSampler | None:
-        if self.sampler == "uniform":
-            return None  # the simulator's own uniform default
+        if self.sampler != "view":
+            return None  # uniform default, or topology (built with its graph)
         return ViewSampler(
             self.n_nodes,
             view_size=self.view_size,
@@ -137,9 +158,21 @@ class ScenarioSpec:
         """Compile the spec into a ready-to-run simulator.
 
         The same ``(spec, seed)`` pair always builds a bit-identical
-        simulator, including the cache warm-up, so any trial of a
-        parallel sweep can be reproduced standalone.
+        simulator, including the cache warm-up and any topology graph
+        (grown from a seed derived off the trial seed), so any trial
+        of a parallel sweep can be reproduced standalone.
         """
+        sampler = self._sampler(seed)
+        channel = self.channel()
+        if self.topology is not None:
+            _, topo_sampler, channel = self.topology.build(
+                self.n_nodes,
+                channel,
+                seed,
+                label=f"topology:{self.name}",
+            )
+            if self.sampler == "topology":
+                sampler = topo_sampler
         sim = EpidemicSimulator(
             self.scheme,
             self.n_nodes,
@@ -150,8 +183,8 @@ class ScenarioSpec:
             max_rounds=self.max_rounds,
             seed=seed,
             node_kwargs=dict(self.node_kwargs),
-            sampler=self._sampler(seed),
-            channel=self.channel(),
+            sampler=sampler,
+            channel=channel,
         )
         n_warm = int(round(self.warm_fraction * self.n_nodes))
         if n_warm and self.warm_packets:
@@ -173,6 +206,9 @@ class ScenarioSpec:
         payload = asdict(self)
         payload["node_loss"] = list(self.node_loss)
         payload["churn_phases"] = [asdict(p) for p in self.churn_phases]
+        payload["topology"] = (
+            self.topology.to_dict() if self.topology is not None else None
+        )
         return payload
 
     @classmethod

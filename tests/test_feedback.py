@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.components import DECODED_LEADER, ConnectedComponents
+from repro.core.components import ConnectedComponents
 from repro.core.feedback import (
     FeedbackState,
     find_innovative_native,

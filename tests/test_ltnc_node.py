@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.coding.packet import EncodedPacket, make_content
+from repro.coding.packet import make_content
 from repro.core.node import LtncNode
 from repro.errors import DimensionError, RecodingError
-from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import IncrementalRref
 from repro.lt.distributions import RobustSoliton
 from repro.lt.encoder import LTEncoder

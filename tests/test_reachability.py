@@ -1,14 +1,11 @@
 """Tests for the §III-B1 degree-reachability heuristics."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.degree_index import DegreeIndex
 from repro.core.reachability import ReachabilityOracle
 from repro.costmodel.counters import OpCounter
-from repro.gf2.bitvec import BitVector
-from repro.gf2.matrix import IncrementalRref
 from repro.lt.tanner import TannerGraph
 
 

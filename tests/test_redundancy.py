@@ -1,6 +1,5 @@
 """Tests for Algorithm 3 — redundancy detection (degree <= 3)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Tests for Algorithm 2 — refining an encoded packet."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

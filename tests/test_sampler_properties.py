@@ -1,0 +1,75 @@
+"""Property tests for the PeerSampler contract (hypothesis).
+
+Every sampler flavour — uniform membership draws, bounded gossip
+views, graph-neighbourhood draws with long-range escapes — must obey
+the simulator's one invariant: ``peers(node, n, round)`` never returns
+the caller itself and never returns a duplicate, for every request
+size up to the membership bound, at any round.  The uniform and
+topology samplers additionally promise exactly ``min(n, n_nodes - 1)``
+peers per draw (the view sampler is bounded by its view size instead).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.peer_sampling import UniformSampler, ViewSampler
+from repro.topology.generators import make_graph
+from repro.topology.sampling import TopologySampler
+
+
+def _uniform(draw, n_nodes, seed):
+    return UniformSampler(n_nodes, rng=seed)
+
+
+def _view(draw, n_nodes, seed):
+    return ViewSampler(
+        n_nodes,
+        view_size=draw(st.integers(min_value=1, max_value=2 * n_nodes)),
+        renewal_period=draw(st.integers(min_value=1, max_value=4)),
+        rng=seed,
+    )
+
+
+def _topology(draw, n_nodes, seed):
+    names = ["line", "ring", "grid2d", "edge_tree", "barabasi_albert"]
+    name = draw(st.sampled_from(names + (["watts_strogatz"] if n_nodes >= 3 else [])))
+    params = {}
+    if name == "watts_strogatz":
+        params = {"k_nearest": 2, "rewire_p": draw(st.floats(0.0, 1.0))}
+    graph = make_graph(name, n_nodes, rng=seed, **params)
+    escape = draw(st.floats(min_value=0.0, max_value=1.0))
+    return TopologySampler(graph, escape=escape, rng=seed)
+
+
+@st.composite
+def sampler_and_size(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    flavour = draw(st.sampled_from([_uniform, _view, _topology]))
+    return flavour(draw, n_nodes, seed), n_nodes
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sampler_and_size(),
+    st.data(),
+)
+def test_samplers_never_self_or_duplicate(built, data):
+    sampler, n_nodes = built
+    rounds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=1,
+            max_size=6,
+        ).map(sorted)
+    )
+    for round_index in rounds:
+        for node in range(n_nodes):
+            for n in range(1, n_nodes):
+                peers = sampler.peers(node, n, round_index)
+                assert node not in peers
+                assert len(peers) == len(set(peers))
+                assert all(0 <= p < n_nodes for p in peers)
+                assert len(peers) <= n
+                if isinstance(sampler, (UniformSampler, TopologySampler)):
+                    assert len(peers) == min(n, n_nodes - 1)

@@ -9,14 +9,17 @@ from repro.experiments.scale import PROFILES
 from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
 from repro.gossip.peer_sampling import ViewSampler
 from repro.scenarios import (
+    PRESETS,
     ScenarioAggregate,
     ScenarioSpec,
+    TopologySpec,
     TrialRunner,
     get_preset,
     preset_names,
     summary_stats,
     trial_seed,
 )
+from repro.topology import TopologyChannel, TopologySampler
 
 QUICK = PROFILES["quick"]
 
@@ -113,17 +116,40 @@ def test_multi_source_injects_more():
 
 # -- presets ------------------------------------------------------------
 def test_preset_catalogue():
-    assert preset_names() == ("baseline", "churn", "edge_cache", "multihop_lossy")
+    assert preset_names() == (
+        "baseline",
+        "churn",
+        "edge_cache",
+        "multihop_lossy",
+        "powerline_multihop",
+        "scalefree_p2p",
+        "sensor_grid",
+        "smallworld_gossip",
+    )
     with pytest.raises(SimulationError):
         get_preset("nope")
 
 
-@pytest.mark.parametrize("name", ["baseline", "multihop_lossy", "edge_cache", "churn"])
+@pytest.mark.parametrize("name", sorted(PRESETS))
 def test_presets_scale_with_profile(name):
     spec = get_preset(name, QUICK)
     assert spec.name == name
     assert spec.n_nodes == QUICK.n_nodes
     assert spec.k == QUICK.k_default
+
+
+@pytest.mark.parametrize(
+    "name", ["powerline_multihop", "scalefree_p2p", "sensor_grid", "smallworld_gossip"]
+)
+def test_topology_presets_compile_structured(name):
+    spec = get_preset(name, QUICK)
+    assert spec.sampler == "topology"
+    assert spec.topology is not None
+    sim = spec.build(seed=1)
+    assert isinstance(sim.sampler, TopologySampler)
+    assert sim.sampler.graph.n_nodes == QUICK.n_nodes
+    if spec.topology.loss_mode != "none":
+        assert isinstance(sim.channel, TopologyChannel)
 
 
 def test_multihop_loss_increases_with_ring():
@@ -219,3 +245,100 @@ def test_grid_trial_matches_standalone_rerun():
     rerun = spec.run(trial["seed"])
     for key, value in rerun.key_metrics().items():
         assert trial[key] == value
+
+
+# -- topology field -------------------------------------------------------
+def test_spec_topology_roundtrips_and_coerces_dicts():
+    spec = ScenarioSpec(
+        name="x",
+        n_nodes=9,
+        k=8,
+        sampler="topology",
+        topology={"graph": "grid2d", "loss_mode": "hop", "per_hop_loss": 0.1},
+    )
+    assert isinstance(spec.topology, TopologySpec)
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    assert json.loads(spec.to_json())["topology"]["graph"] == "grid2d"
+
+
+def test_spec_topology_validation():
+    with pytest.raises(SimulationError):
+        ScenarioSpec(name="x", sampler="topology")  # no topology given
+    with pytest.raises(SimulationError):
+        ScenarioSpec(name="x", topology={"graph": "escher"})
+    with pytest.raises(SimulationError):
+        # Root outside the scenario's node range.
+        ScenarioSpec(name="x", n_nodes=4, topology={"graph": "line", "root": 7})
+
+
+def test_spec_topology_channel_only():
+    # A topology can shape the channel while sampling stays uniform.
+    spec = ScenarioSpec(
+        name="x",
+        n_nodes=6,
+        k=8,
+        topology={"graph": "line", "loss_mode": "hop", "per_hop_loss": 0.2},
+    )
+    sim = spec.build(seed=2)
+    assert isinstance(sim.channel, TopologyChannel)
+    assert not isinstance(sim.sampler, TopologySampler)
+    # Source (-1) pays the full line distance to the far end.
+    assert sim.channel.loss_for(-1, 5) == pytest.approx(1 - 0.8**5)
+
+
+def test_spec_topology_composes_base_loss():
+    spec = ScenarioSpec(
+        name="x",
+        n_nodes=4,
+        k=8,
+        loss_rate=0.5,
+        topology={"graph": "line", "loss_mode": "hop", "per_hop_loss": 0.1},
+    )
+    channel = spec.build(seed=0).channel
+    # Survival multiplies: 1 - (1-0.1)^1 * (1-0.5) on an adjacent link.
+    assert channel.loss_for(0, 1) == pytest.approx(1 - 0.9 * 0.5)
+
+
+def test_spec_topology_graph_is_trial_deterministic():
+    spec = ScenarioSpec(
+        name="x",
+        n_nodes=16,
+        k=8,
+        sampler="topology",
+        topology={"graph": "watts_strogatz", "params": {"rewire_p": 0.3}},
+    )
+    a = spec.build(seed=5).sampler.graph
+    b = spec.build(seed=5).sampler.graph
+    c = spec.build(seed=6).sampler.graph
+    assert a == b
+    assert a != c  # a different trial seed grows a different overlay
+
+
+# -- CLI ------------------------------------------------------------------
+def test_cli_list_exits_zero(capsys):
+    from repro.scenarios.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in preset_names():
+        assert name in out
+
+
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        (["--workers", "0"], "--workers must be >= 1"),
+        (["--trials", "-3"], "--trials must be >= 1"),
+        (["--scenario", "nope"], "unknown scenario 'nope'"),
+    ],
+)
+def test_cli_rejects_bad_arguments(capsys, argv, fragment):
+    from repro.scenarios.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert "Traceback" not in err

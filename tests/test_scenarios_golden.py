@@ -24,6 +24,10 @@ GOLDEN = {
     "multihop_lossy": {"rounds": 80.67, "average_completion_round": 57.33, "overhead": 1.0868},
     "edge_cache": {"rounds": 45.67, "average_completion_round": 28.33, "overhead": 0.6259},
     "churn": {"rounds": 90.67, "average_completion_round": 58.47, "overhead": 0.7483},
+    "powerline_multihop": {"rounds": 93.33, "average_completion_round": 71.19, "overhead": 1.2856},
+    "scalefree_p2p": {"rounds": 103.67, "average_completion_round": 66.92, "overhead": 0.9175},
+    "sensor_grid": {"rounds": 87.67, "average_completion_round": 62.72, "overhead": 1.1562},
+    "smallworld_gossip": {"rounds": 73.33, "average_completion_round": 55.89, "overhead": 0.9349},
 }
 
 
@@ -72,3 +76,17 @@ def test_edge_cache_preset_beats_cold_start(aggregates):
     baseline = aggregates["baseline"].metrics_summary()
     assert cached["rounds"]["mean"] < baseline["rounds"]["mean"]
     assert cached["overhead"]["mean"] < baseline["overhead"]["mean"]
+
+
+def test_multihop_topology_presets_actually_lose(aggregates):
+    # Hop-derived loss must bite on every lossy structured overlay.
+    for name in ("powerline_multihop", "sensor_grid"):
+        summary = aggregates[name].metrics_summary()
+        assert summary["lost_transfers"]["min"] >= 1
+
+
+def test_smallworld_shortcuts_beat_the_feeder_line(aggregates):
+    # Small-world rewiring + escapes must outrun the diameter-bound line.
+    smallworld = aggregates["smallworld_gossip"].metrics_summary()
+    line = aggregates["powerline_multihop"].metrics_summary()
+    assert smallworld["rounds"]["mean"] < line["rounds"]["mean"]

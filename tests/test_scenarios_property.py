@@ -13,8 +13,16 @@ import json
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.gossip.channel import ChurnPhase
-from repro.scenarios import ScenarioSpec, TrialRunner, get_preset
+from repro.scenarios import (
+    TOPOLOGY_PRESETS,
+    ScenarioSpec,
+    TrialRunner,
+    get_preset,
+)
+from repro.topology.spec import TopologySpec
 from repro.experiments.scale import PROFILES
 
 _probability = st.floats(
@@ -31,6 +39,20 @@ def churn_phases(draw):
     length = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=500)))
     end = None if length is None else start + length
     return ChurnPhase(start=start, end=end, rate=draw(_probability))
+
+
+@st.composite
+def topology_specs(draw, n_nodes):
+    graph = draw(
+        st.sampled_from(["line", "ring", "grid2d", "edge_tree", "barabasi_albert"])
+    )
+    return TopologySpec(
+        graph=graph,
+        escape=draw(_probability),
+        loss_mode=draw(st.sampled_from(["none", "hop", "weight"])),
+        per_hop_loss=draw(_probability),
+        root=draw(st.integers(min_value=0, max_value=n_nodes - 1)),
+    )
 
 
 @st.composite
@@ -63,6 +85,7 @@ def scenario_specs(draw):
         sampler=draw(st.sampled_from(["uniform", "view"])),
         view_size=draw(st.integers(min_value=1, max_value=32)),
         renewal_period=draw(st.integers(min_value=1, max_value=16)),
+        topology=draw(st.one_of(st.none(), topology_specs(n_nodes))),
         node_kwargs=draw(
             st.dictionaries(
                 _names,
@@ -113,3 +136,13 @@ def test_parallel_grid_bitwise_matches_serial_on_preset():
     serial = TrialRunner(n_workers=1).run_grid([spec], 4, master_seed=7)
     parallel = TrialRunner(n_workers=4).run_grid([spec], 4, master_seed=7)
     assert serial["churn"].to_json() == parallel["churn"].to_json()
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_PRESETS)
+def test_topology_presets_are_worker_count_invariant(name):
+    # The graph is grown inside each worker from the trial seed; the
+    # aggregated JSON must stay byte-identical for any worker count.
+    spec = get_preset(name, PROFILES["quick"])
+    serial = TrialRunner(n_workers=1).run(spec, 4, master_seed=7)
+    parallel = TrialRunner(n_workers=4).run(spec, 4, master_seed=7)
+    assert serial.to_json() == parallel.to_json()

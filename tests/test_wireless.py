@@ -1,9 +1,7 @@
 """Tests for the wireless broadcast setting with snooping."""
 
-import numpy as np
 import pytest
 
-from repro.core.feedback import FeedbackState
 from repro.errors import SimulationError
 from repro.gossip.wireless import (
     WirelessSimulator,
