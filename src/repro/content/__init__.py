@@ -1,0 +1,38 @@
+"""Multi-content catalogue dissemination (beyond the paper's testbed).
+
+The paper disseminates one content; production catalogues serve many,
+under skewed demand, with edge caches deciding which coded contents
+they store and recode.  :mod:`repro.content` supplies that substrate:
+
+* :class:`~repro.content.spec.CatalogueSpec` /
+  :class:`~repro.content.spec.ContentSpec` — the declarative,
+  JSON-round-trippable catalogue description embedded as a
+  :class:`~repro.scenarios.spec.ScenarioSpec` ``content`` field;
+* :class:`~repro.content.demand.DemandModel` — Zipf/uniform popularity
+  and seed-deterministic per-node interest sets;
+* :class:`~repro.content.cache.NodeCache` — LRU / LFU / pin packet
+  budgets over non-interest contents;
+* :class:`~repro.content.simulator.CatalogueSimulator` — interleaved
+  gossip sessions across contents over the existing samplers and
+  channels, with per-content generation striping via
+  :mod:`repro.generations`;
+* :class:`~repro.content.metrics.CatalogueResult` — per-content and
+  aggregate metrics, mergeable through the scenario aggregates.
+"""
+
+from repro.content.cache import CACHE_POLICIES, NodeCache
+from repro.content.demand import DemandModel, zipf_weights
+from repro.content.metrics import CatalogueResult
+from repro.content.simulator import CatalogueSimulator
+from repro.content.spec import CatalogueSpec, ContentSpec
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CatalogueResult",
+    "CatalogueSimulator",
+    "CatalogueSpec",
+    "ContentSpec",
+    "DemandModel",
+    "NodeCache",
+    "zipf_weights",
+]

@@ -1,0 +1,142 @@
+"""Per-node content caches: which contents a node stores and recodes.
+
+An interested node always keeps the contents it wants to decode.  A
+*cache node* additionally spends a packet budget on contents outside
+its interest set, recoding and serving them to peers — the edge-cache
+role.  Because coded state is only useful as a whole (a cache serves
+fresh recoded packets out of its stored combinations), admission is
+per packet but **eviction is per content**: evicting drops every
+stored packet of the victim content at once.
+
+Three policies:
+
+* ``lru`` — evict the least-recently *used* content (receiving or
+  serving a content refreshes it);
+* ``lfu`` — evict the least-frequently used content (ties broken by
+  recency, then by content id — fully deterministic);
+* ``pin`` — a static allowlist: only pinned contents are admitted,
+  nothing is ever evicted (rejects when the budget is spent).
+
+The bookkeeping is integer-only and tick-ordered, so a cache's
+behaviour is a pure function of the admission/serve sequence — the
+property that keeps catalogue trials bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["NodeCache", "CACHE_POLICIES"]
+
+CACHE_POLICIES = ("lru", "lfu", "pin")
+
+
+class NodeCache:
+    """One node's packet budget over non-interest contents."""
+
+    def __init__(
+        self,
+        policy: str,
+        capacity: int,
+        pinned: frozenset[int] = frozenset(),
+    ) -> None:
+        if policy not in CACHE_POLICIES:
+            raise SimulationError(
+                f"cache policy must be one of {CACHE_POLICIES}, "
+                f"got {policy!r}"
+            )
+        if capacity < 1:
+            raise SimulationError(
+                f"cache capacity must be >= 1 packet, got {capacity}"
+            )
+        if policy == "pin" and not pinned:
+            raise SimulationError("policy 'pin' needs a non-empty pin set")
+        self.policy = policy
+        self.capacity = capacity
+        self.pinned = pinned
+        self.counts: dict[int, int] = {}
+        self._last_used: dict[int, int] = {}
+        self._freq: dict[int, int] = {}
+        self._tick = 0
+        self.evictions = 0
+        self.rejects = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_packets(self) -> int:
+        return sum(self.counts.values())
+
+    def holds(self, content: int) -> bool:
+        return content in self.counts
+
+    def would_admit(self, content: int) -> bool:
+        """Header-time admission test (no state change).
+
+        True iff :meth:`admit` for *content* would store the packet —
+        the receiver's binary feedback can therefore refuse unwanted
+        payloads before they ship.
+        """
+        if self.policy == "pin" and content not in self.pinned:
+            return False
+        if self.total_packets < self.capacity:
+            return True
+        if self.policy == "pin":
+            return False
+        # Full: admissible only if some *other* content can be evicted.
+        return any(c != content for c in self.counts)
+
+    def _victim(self, incoming: int) -> int:
+        candidates = [c for c in self.counts if c != incoming]
+        if self.policy == "lru":
+            key = lambda c: (self._last_used[c], c)  # noqa: E731
+        else:  # lfu; ties by recency then id
+            key = lambda c: (self._freq[c], self._last_used[c], c)  # noqa: E731
+        return min(candidates, key=key)
+
+    def admit(self, content: int) -> list[int]:
+        """Store one packet of *content*; returns evicted content ids.
+
+        Callers must drop the evicted contents' coding state: the cache
+        has forgotten them.  A packet refused by the policy counts as a
+        reject and evicts nothing.
+        """
+        if not self.would_admit(content):
+            self.rejects += 1
+            return []
+        evicted = []
+        while self.total_packets >= self.capacity:
+            victim = self._victim(content)
+            self.evictions += 1
+            evicted.append(victim)
+            del self.counts[victim]
+            del self._last_used[victim]
+            del self._freq[victim]
+        self._tick += 1
+        self.counts[content] = self.counts.get(content, 0) + 1
+        self._last_used[content] = self._tick
+        self._freq[content] = self._freq.get(content, 0) + 1
+        return evicted
+
+    def touch_served(self, content: int) -> None:
+        """Refresh recency/frequency when the cache serves *content*."""
+        if content in self.counts:
+            self._tick += 1
+            self._last_used[content] = self._tick
+            self._freq[content] += 1
+
+    def drop(self, content: int) -> None:
+        """Forget *content* entirely (churn restart)."""
+        self.counts.pop(content, None)
+        self._last_used.pop(content, None)
+        self._freq.pop(content, None)
+
+    def clear(self) -> None:
+        self.counts.clear()
+        self._last_used.clear()
+        self._freq.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeCache({self.policy!r}, {self.total_packets}/"
+            f"{self.capacity} packets, contents={sorted(self.counts)})"
+        )

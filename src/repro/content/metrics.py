@@ -1,0 +1,214 @@
+"""Metrics for catalogue dissemination runs.
+
+A catalogue run is scored over **interest pairs** — one (node, content)
+pair per entry of a node's interest set; a pair completes when the node
+decodes that content's *k* natives.  :class:`CatalogueResult` keeps the
+aggregate counters shape-compatible with
+:class:`~repro.gossip.metrics.DisseminationResult.key_metrics` (so the
+scenario aggregation, benches and golden tests treat single-content and
+catalogue trials uniformly) and adds:
+
+* **per-content metrics** — ``content:<name>:<metric>`` keys for
+  completion, delay and overhead of each catalogue entry;
+* **cache metrics** — ``cache_hit_ratio`` (fraction of delivered data
+  transfers served out of a node's cache rather than its own interest
+  set), ``edge_served_fraction`` (fraction served by *any* overlay node
+  rather than the origin), plus eviction/reject counts.
+
+``data_until_complete`` mirrors the single-content semantics per pair:
+data packets shipped towards the pair until it completed (lost payloads
+included — the bytes were spent), so per-pair overhead is
+``(data - k) / k`` exactly as in Fig. 7c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["CatalogueResult"]
+
+Pair = tuple[int, int]  # (content index, node id)
+
+
+@dataclass
+class CatalogueResult:
+    """Outcome of one catalogue dissemination run."""
+
+    n_nodes: int
+    content_names: tuple[str, ...]
+    content_ks: tuple[int, ...]
+    n_pairs: int
+    #: interested nodes per content (the denominator of per-content
+    #: completion); filled by the simulator from the demand assignment.
+    pairs_per_content: tuple[int, ...] = ()
+    rounds: int = 0
+    completion_rounds: dict[Pair, int] = field(default_factory=dict)
+    data_until_complete: dict[Pair, int] = field(default_factory=dict)
+    series_rounds: list[int] = field(default_factory=list)
+    series_completed: list[float] = field(default_factory=list)
+    sessions: int = 0
+    aborted: int = 0
+    unwanted: int = 0
+    data_transfers: int = 0
+    useful_transfers: int = 0
+    redundant_transfers: int = 0
+    lost_transfers: int = 0
+    duplicated_transfers: int = 0
+    churn_events: int = 0
+    recoded_packets: int = 0
+    # -- cache accounting ---------------------------------------------
+    cache_served: int = 0
+    edge_served: int = 0
+    cache_stored: int = 0
+    cache_evictions: int = 0
+    cache_rejects: int = 0
+    # -- per-content session counters ---------------------------------
+    content_data_transfers: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_contents(self) -> int:
+        return len(self.content_names)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completion_rounds)
+
+    @property
+    def all_complete(self) -> bool:
+        return self.completed_count == self.n_pairs
+
+    def completed_fraction(self) -> float:
+        if self.n_pairs == 0:
+            return 1.0
+        return self.completed_count / self.n_pairs
+
+    def average_completion_round(self) -> float:
+        """Mean completion round over completed interest pairs."""
+        if not self.completion_rounds:
+            raise SimulationError("no pair completed; cannot average")
+        return float(np.mean(list(self.completion_rounds.values())))
+
+    def overhead(self) -> float:
+        """Mean per-pair ``(data - k) / k`` over completed pairs."""
+        if not self.completion_rounds:
+            raise SimulationError("no pair completed; overhead undefined")
+        ratios = [
+            (self.data_until_complete.get(pair, self.content_ks[pair[0]])
+             - self.content_ks[pair[0]]) / self.content_ks[pair[0]]
+            for pair in self.completion_rounds
+        ]
+        return float(np.mean(ratios))
+
+    def abort_rate(self) -> float:
+        if self.sessions == 0:
+            return 0.0
+        return self.aborted / self.sessions
+
+    def cache_hit_ratio(self) -> float:
+        """Fraction of data transfers served out of a sender's cache."""
+        if self.data_transfers == 0:
+            return 0.0
+        return self.cache_served / self.data_transfers
+
+    def edge_served_fraction(self) -> float:
+        """Fraction of data transfers served by overlay nodes (not origin)."""
+        if self.data_transfers == 0:
+            return 0.0
+        return self.edge_served / self.data_transfers
+
+    # ------------------------------------------------------------------
+    def _content_pairs(self, content: int) -> list[Pair]:
+        return [p for p in self.completion_rounds if p[0] == content]
+
+    def content_metrics(self, content: int, n_pairs: int) -> dict[str, object]:
+        """The per-content scalar metrics (``n_pairs`` = interested nodes)."""
+        done = self._content_pairs(content)
+        k = self.content_ks[content]
+        fraction = (len(done) / n_pairs) if n_pairs else None
+        average = (
+            float(np.mean([self.completion_rounds[p] for p in done]))
+            if done
+            else None
+        )
+        over = (
+            float(np.mean([
+                (self.data_until_complete.get(p, k) - k) / k for p in done
+            ]))
+            if done
+            else None
+        )
+        return {
+            "completed_fraction": fraction,
+            "average_completion_round": average,
+            "overhead": over,
+            "data_transfers": self.content_data_transfers.get(content, 0),
+        }
+
+    def key_metrics(self) -> dict[str, float | int | None]:
+        """Scalar metrics of one run, flat and JSON-able.
+
+        The aggregate block carries the exact keys of
+        ``DisseminationResult.key_metrics`` plus the cache counters;
+        per-content metrics follow under ``content:<name>:<metric>``
+        keys (stable across the trials of a spec, so the mergeable
+        aggregates summarise them like any other scalar).
+        """
+        completed = self.completed_count
+        metrics: dict[str, float | int | None] = {
+            "rounds": self.rounds,
+            "completed": completed,
+            "completed_fraction": self.completed_fraction(),
+            "average_completion_round": (
+                self.average_completion_round() if completed else None
+            ),
+            "overhead": self.overhead() if completed else None,
+            "sessions": self.sessions,
+            "aborted": self.aborted,
+            "abort_rate": self.abort_rate(),
+            "data_transfers": self.data_transfers,
+            "useful_transfers": self.useful_transfers,
+            "redundant_transfers": self.redundant_transfers,
+            "lost_transfers": self.lost_transfers,
+            "duplicated_transfers": self.duplicated_transfers,
+            "churn_events": self.churn_events,
+            "recoded_packets": self.recoded_packets,
+            "unwanted": self.unwanted,
+            "cache_hit_ratio": self.cache_hit_ratio(),
+            "edge_served_fraction": self.edge_served_fraction(),
+            "cache_stored": self.cache_stored,
+            "cache_evictions": self.cache_evictions,
+            "cache_rejects": self.cache_rejects,
+        }
+        per_content = self.pairs_per_content or self._completed_per_content()
+        for content, name in enumerate(self.content_names):
+            per = self.content_metrics(content, per_content[content])
+            for key, value in per.items():
+                metrics[f"content:{name}:{key}"] = value
+        return metrics
+
+    def _completed_per_content(self) -> tuple[int, ...]:
+        # Fallback when the interest index was not recorded: count
+        # completed pairs only (completion fractions degenerate to 1).
+        counts = [0] * self.n_contents
+        for content, _ in self.completion_rounds:
+            counts[content] += 1
+        return tuple(counts)
+
+    # ------------------------------------------------------------------
+    def record_round(self, round_index: int) -> None:
+        """Append one point of the pair-completion convergence series."""
+        self.rounds = round_index + 1
+        self.series_rounds.append(round_index)
+        self.series_completed.append(self.completed_fraction())
+
+    def __repr__(self) -> str:
+        return (
+            f"CatalogueResult(C={self.n_contents}, N={self.n_nodes}, "
+            f"rounds={self.rounds}, "
+            f"pairs={self.completed_count}/{self.n_pairs})"
+        )

@@ -1,0 +1,257 @@
+"""Declarative, JSON-round-trippable catalogue descriptions.
+
+A :class:`CatalogueSpec` lifts a scenario from single-content to
+catalogue dissemination: *C* contents (each with its own code length,
+scheme and optional generation striping via :mod:`repro.generations`),
+a Zipf or uniform demand model assigning per-node interest sets, and a
+per-node cache policy deciding which contents a node stores and
+recodes for.  It is the ``content`` field of a
+:class:`~repro.scenarios.spec.ScenarioSpec`: the scenario compiler
+resolves it per trial (deterministically from the trial seed) into a
+:class:`~repro.content.simulator.CatalogueSimulator`, so a catalogue
+workload serialises, ships to worker processes, and reruns standalone
+exactly like a single-content one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import SimulationError
+from repro.gossip.source import SCHEMES
+
+__all__ = ["ContentSpec", "CatalogueSpec"]
+
+_DEMANDS = ("zipf", "uniform")
+_CACHE_POLICIES = ("none", "lru", "lfu", "pin")
+_SOURCE_SCHEDULES = ("popularity", "round_robin")
+
+
+@dataclass(frozen=True)
+class ContentSpec:
+    """One catalogue entry: a content with its own coding parameters.
+
+    ``generation_size`` > 0 stripes the content into generations of at
+    most that many natives (coding then happens strictly inside a
+    generation, LTNC only); 0 codes over all *k* natives at once.
+    """
+
+    name: str
+    k: int
+    scheme: str = "ltnc"
+    generation_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("content name must be non-empty")
+        if self.k < 1:
+            raise SimulationError(f"content k must be >= 1, got {self.k}")
+        if self.scheme not in SCHEMES:
+            raise SimulationError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.generation_size < 0:
+            raise SimulationError(
+                f"generation_size must be >= 0, got {self.generation_size}"
+            )
+        if self.generation_size and self.scheme != "ltnc":
+            raise SimulationError(
+                "generation striping requires scheme 'ltnc', "
+                f"got {self.scheme!r}"
+            )
+
+    @property
+    def striped(self) -> bool:
+        return self.generation_size > 0
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ContentSpec":
+        try:
+            return cls(**dict(payload))  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise SimulationError(f"bad content spec: {exc}") from None
+
+
+@dataclass(frozen=True)
+class CatalogueSpec:
+    """One multi-content workload, declaratively.
+
+    Every field is a plain JSON type (or a tuple of them), so the spec
+    round-trips through :meth:`to_dict` / :meth:`from_dict` and embeds
+    losslessly in a scenario's JSON.
+
+    ``contents`` lists the catalogue explicitly; when empty, the
+    catalogue is ``n_contents`` identical entries named ``c0..c{C-1}``
+    whose ``k`` / ``scheme`` default to the enclosing scenario's (via
+    :meth:`resolve`), striped by ``generation_size``.
+
+    ``demand`` assigns each node an interest set of
+    ``interests_per_node`` distinct contents, drawn without replacement
+    with Zipf(``zipf_s``) or uniform popularity weights.
+
+    ``cache_policy`` turns a ``cache_fraction`` of nodes into edge
+    caches with ``cache_capacity`` packets of budget for contents
+    *outside* their interest sets (``lru`` / ``lfu`` evict whole
+    contents; ``pin`` statically admits only ``pin_contents``).  With
+    ``cache_at_root`` and an embedded topology, cache nodes are the
+    nodes nearest the graph root instead of a random draw — the
+    origin → edge-cache → client hierarchy of Recayte et al.
+
+    ``source_schedule`` picks which content the origin pushes each
+    injection: popularity-weighted draws or strict round-robin.
+    """
+
+    n_contents: int = 2
+    k: int = 0  # 0 = inherit the scenario's k
+    scheme: str = ""  # "" = inherit the scenario's scheme
+    generation_size: int = 0
+    contents: tuple[ContentSpec, ...] = ()
+    # -- demand -------------------------------------------------------
+    demand: str = "zipf"
+    zipf_s: float = 1.0
+    interests_per_node: int = 1
+    # -- node caches --------------------------------------------------
+    cache_policy: str = "none"
+    cache_fraction: float = 0.0
+    cache_capacity: int = 0
+    pin_contents: tuple[str, ...] = ()
+    cache_at_root: bool = False
+    # -- origin behaviour ---------------------------------------------
+    source_schedule: str = "popularity"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "contents",
+            tuple(
+                c if isinstance(c, ContentSpec) else ContentSpec.from_dict(c)
+                for c in self.contents
+            ),
+        )
+        object.__setattr__(
+            self, "pin_contents", tuple(str(n) for n in self.pin_contents)
+        )
+        if not self.contents and self.n_contents < 1:
+            raise SimulationError(
+                f"n_contents must be >= 1, got {self.n_contents}"
+            )
+        if self.contents:
+            names = [c.name for c in self.contents]
+            if len(set(names)) != len(names):
+                raise SimulationError(
+                    f"duplicate content names in catalogue: {names}"
+                )
+        if self.k < 0:
+            raise SimulationError(f"k must be >= 0, got {self.k}")
+        if self.scheme and self.scheme not in SCHEMES:
+            raise SimulationError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.generation_size < 0:
+            raise SimulationError(
+                f"generation_size must be >= 0, got {self.generation_size}"
+            )
+        if self.demand not in _DEMANDS:
+            raise SimulationError(
+                f"demand must be one of {_DEMANDS}, got {self.demand!r}"
+            )
+        if self.zipf_s < 0.0:
+            raise SimulationError(
+                f"zipf_s must be >= 0, got {self.zipf_s}"
+            )
+        if self.interests_per_node < 1:
+            raise SimulationError(
+                "interests_per_node must be >= 1, "
+                f"got {self.interests_per_node}"
+            )
+        if self.interests_per_node > self.size:
+            raise SimulationError(
+                f"interests_per_node ({self.interests_per_node}) exceeds "
+                f"the catalogue size ({self.size})"
+            )
+        if self.cache_policy not in _CACHE_POLICIES:
+            raise SimulationError(
+                f"cache_policy must be one of {_CACHE_POLICIES}, "
+                f"got {self.cache_policy!r}"
+            )
+        if not 0.0 <= self.cache_fraction <= 1.0:
+            raise SimulationError(
+                f"cache_fraction must be in [0, 1], got {self.cache_fraction}"
+            )
+        if self.cache_capacity < 0:
+            raise SimulationError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if self.cache_policy != "none" and self.cache_capacity < 1:
+            raise SimulationError(
+                f"cache_policy {self.cache_policy!r} needs "
+                f"cache_capacity >= 1, got {self.cache_capacity}"
+            )
+        if self.cache_policy == "pin" and not self.pin_contents:
+            raise SimulationError(
+                "cache_policy 'pin' needs a non-empty pin_contents"
+            )
+        if self.pin_contents and self.cache_policy != "pin":
+            raise SimulationError(
+                "pin_contents only applies to cache_policy 'pin'"
+            )
+        if self.source_schedule not in _SOURCE_SCHEDULES:
+            raise SimulationError(
+                f"source_schedule must be one of {_SOURCE_SCHEDULES}, "
+                f"got {self.source_schedule!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of contents in the catalogue."""
+        return len(self.contents) if self.contents else self.n_contents
+
+    def resolve(
+        self, default_k: int, default_scheme: str
+    ) -> tuple[ContentSpec, ...]:
+        """The concrete catalogue, with scenario defaults filled in."""
+        if self.contents:
+            catalogue = self.contents
+        else:
+            k = self.k or default_k
+            scheme = self.scheme or default_scheme
+            catalogue = tuple(
+                ContentSpec(
+                    name=f"c{i}",
+                    k=k,
+                    scheme=scheme,
+                    generation_size=self.generation_size,
+                )
+                for i in range(self.n_contents)
+            )
+        if self.cache_policy == "pin":
+            names = {c.name for c in catalogue}
+            missing = [n for n in self.pin_contents if n not in names]
+            if missing:
+                raise SimulationError(
+                    f"pin_contents name contents outside the catalogue: "
+                    f"{missing}"
+                )
+        return catalogue
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """A plain-JSON dict (tuples become lists) that round-trips."""
+        payload = asdict(self)
+        payload["contents"] = [c.to_dict() for c in self.contents]
+        payload["pin_contents"] = list(self.pin_contents)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CatalogueSpec":
+        data = dict(payload)
+        data["contents"] = tuple(data.get("contents") or ())
+        data["pin_contents"] = tuple(data.get("pin_contents") or ())
+        try:
+            return cls(**data)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise SimulationError(f"bad catalogue spec: {exc}") from None

@@ -1,0 +1,101 @@
+"""Shared argument plumbing for the experiment sweep CLIs.
+
+The sweep drivers (``topo_compare``, ``content_compare``) take the
+same runner knobs as ``python -m repro.scenarios``: ``--trials``,
+``--workers``, ``--seed``, ``--scale``, ``--out``.  This module keeps
+their validation identical — bad values produce argparse's short
+"usage + error" message, never a traceback — so every new driver gets
+the friendly behaviour from day one instead of re-growing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = [
+    "add_runner_arguments",
+    "validate_runner_arguments",
+    "resolve_profile",
+    "print_table",
+    "write_aggregates",
+]
+
+
+def add_runner_arguments(
+    parser: argparse.ArgumentParser, default_seed: int = 2010
+) -> None:
+    """Attach the shared ``--trials/--workers/--seed/--scale/--out`` flags."""
+    parser.add_argument(
+        "--trials", type=int, default=None, help="Monte-Carlo repetitions"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=default_seed, help="master seed"
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="scale profile (default: LTNC_SCALE env, else 'default')",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the aggregate JSON here"
+    )
+
+
+def validate_runner_arguments(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject out-of-range runner knobs with a clear parser error."""
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.trials is not None and args.trials < 1:
+        parser.error(f"--trials must be >= 1, got {args.trials}")
+
+
+def resolve_profile(parser: argparse.ArgumentParser, scale: str | None):
+    """The :class:`~repro.experiments.scale.ScaleProfile` for ``--scale``.
+
+    ``None`` defers to the ``LTNC_SCALE`` environment (its errors are
+    also surfaced as parser errors, not tracebacks).
+    """
+    from repro.experiments.scale import PROFILES, current_profile
+
+    if scale is not None:
+        if scale not in PROFILES:
+            parser.error(
+                f"unknown scale {scale!r}; "
+                f"expected one of: {', '.join(sorted(PROFILES))}"
+            )
+        return PROFILES[scale]
+    try:
+        return current_profile()
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+
+def print_table(header: list[str], rows: list[list[str]]) -> None:
+    """Right-aligned sweep table on stdout."""
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    print(fmt.format(*header))
+    for row in rows:
+        print(fmt.format(*row))
+
+
+def write_aggregates(path: str, aggregates: dict) -> None:
+    """Persist ``{name: aggregate}`` as deterministic indented JSON."""
+    payload = {
+        name: aggregate.to_dict() for name, aggregate in aggregates.items()
+    }
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    print(f"wrote {out}", file=sys.stderr)

@@ -1,24 +1,24 @@
-"""Topology comparison sweep — dissemination delay and overhead.
+"""Catalogue comparison sweep — demand skew, caches and striping.
 
-Not a paper figure: the paper's testbed gossips over a uniform
-overlay, and §VI argues the interesting deployments are structured.
-This driver runs the same LTNC dissemination over the graph-structured
-scenario presets (``powerline_multihop``, ``scalefree_p2p``,
-``sensor_grid``, ``smallworld_gossip``) next to the uniform
-``baseline``, under the parallel trial runner, and tabulates how the
-overlay's shape moves the §IV-B metrics: completion delay (diameter
-bound vs small-world shortcuts), communication overhead, and the loss
-paid to multihop links.
+Not a paper figure: the paper disseminates a single content, and §I
+notes LTNC composes with the standard network-coding optimisations
+(generations) that catalogue workloads lean on.  This driver runs the
+multi-content presets (``zipf_catalogue``, ``edge_cache_catalogue``,
+``striped_vod``) next to the single-content ``baseline`` under the
+parallel trial runner, and tabulates what the catalogue dimension
+moves: completion delay over interest pairs, per-pair overhead, the
+fraction of data served from the edge rather than the origin, and the
+cache hit ratio where caches exist.
 
 Library use::
 
-    from repro.experiments.topo_compare import run_topo_compare
-    aggregates = run_topo_compare(n_workers=4)
+    from repro.experiments.content_compare import run_content_compare
+    aggregates = run_content_compare(n_workers=4)
 
 CLI use::
 
-    python -m repro.experiments.topo_compare --trials 4 --workers 4 \
-        --scale quick --out benchmarks/out/topo_compare.json
+    python -m repro.experiments.content_compare --trials 4 --workers 4 \
+        --scale quick --out benchmarks/out/content_compare.json
 """
 
 from __future__ import annotations
@@ -33,30 +33,30 @@ from repro.experiments.cliutil import (
     write_aggregates,
 )
 from repro.scenarios.aggregate import ScenarioAggregate
-from repro.scenarios.presets import TOPOLOGY_PRESETS, get_preset
+from repro.scenarios.presets import CONTENT_PRESETS, get_preset
 from repro.scenarios.runner import TrialRunner
 
-__all__ = ["run_topo_compare", "comparison_rows", "main"]
+__all__ = ["run_content_compare", "comparison_rows", "main"]
 
 #: Sweep columns: (metrics_summary key, short report header).
 _COLUMNS = (
     ("rounds", "rounds"),
     ("average_completion_round", "avg_complete"),
     ("overhead", "overhead"),
-    ("lost_transfers", "lost"),
-    ("aborted", "aborted"),
+    ("edge_served_fraction", "edge_served"),
+    ("cache_hit_ratio", "cache_hit"),
 )
 
 
-def run_topo_compare(
-    presets: tuple[str, ...] = TOPOLOGY_PRESETS,
+def run_content_compare(
+    presets: tuple[str, ...] = CONTENT_PRESETS,
     n_trials: int | None = None,
     master_seed: int = 2010,
     n_workers: int = 1,
     profile=None,
     include_baseline: bool = True,
 ) -> dict[str, ScenarioAggregate]:
-    """Run the topology sweep; one aggregate per preset.
+    """Run the catalogue sweep; one aggregate per preset.
 
     Trials fan out across ``n_workers`` processes with the runner's
     usual guarantees (bit-reproducible seeds, worker-count-invariant
@@ -77,15 +77,20 @@ def run_topo_compare(
 def comparison_rows(
     aggregates: dict[str, ScenarioAggregate],
 ) -> tuple[list[str], list[list[str]]]:
-    """``(header, rows)`` of the sweep table, presets in run order."""
+    """``(header, rows)`` of the sweep table, presets in run order.
+
+    ``baseline`` is single-content: its catalogue-only columns print
+    as ``n/a`` rather than zero, so the table never suggests the
+    uniform workload measured a cache.
+    """
     header = ["scenario"] + [label for _, label in _COLUMNS]
     rows = []
     for name, aggregate in aggregates.items():
         summary = aggregate.metrics_summary()
         row = [name]
         for key, _ in _COLUMNS:
-            stats = summary[key]
-            mean = stats["mean"]
+            stats = summary.get(key)
+            mean = stats["mean"] if stats else None
             row.append(
                 "n/a" if mean is None else f"{mean:.2f}±{stats['ci95']:.2f}"
             )
@@ -95,16 +100,16 @@ def comparison_rows(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.topo_compare",
-        description="Sweep dissemination delay/overhead across "
-        "graph-structured overlays under the parallel trial runner.",
+        prog="python -m repro.experiments.content_compare",
+        description="Sweep catalogue dissemination (Zipf demand, edge "
+        "caches, generation striping) under the parallel trial runner.",
     )
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
     validate_runner_arguments(parser, args)
     profile = resolve_profile(parser, args.scale)
 
-    aggregates = run_topo_compare(
+    aggregates = run_content_compare(
         n_trials=args.trials,
         master_seed=args.seed,
         n_workers=args.workers,

@@ -29,7 +29,25 @@ __all__ = ["DisseminationResult"]
 
 @dataclass
 class DisseminationResult:
-    """Outcome of one epidemic dissemination run."""
+    """Outcome of one epidemic dissemination run.
+
+    ``data_until_complete[node]`` counts the data packets *shipped
+    towards* ``node`` up to (and including) the one that completed it:
+    payloads lost in transit are included (the bytes were spent),
+    aborted sessions are not (the binary check's point), and cache
+    warm-up packets are (``prewarm`` pre-counts them), so
+    ``data_until_complete[node] >= k`` always and the Fig. 7c overhead
+    ``(data - k) / k`` is non-negative.  Nodes missing from the dict
+    but present in ``completion_rounds`` default to exactly ``k`` —
+    zero overhead — in :meth:`overhead`.
+
+    Results themselves are never merged across processes; the parallel
+    runner folds each trial's scalar :meth:`key_metrics` into a
+    :class:`~repro.scenarios.aggregate.ScenarioAggregate`, whose
+    ``merge`` re-orders whole trials by index.  Per-node dicts like
+    this one therefore never cross trial boundaries — which is what
+    keeps the merged and single-process aggregates byte-identical.
+    """
 
     scheme: str
     n_nodes: int

@@ -4,10 +4,11 @@
 JSON-serialisable workload description that compiles into a configured
 :class:`~repro.gossip.simulator.EpidemicSimulator`;
 :mod:`~repro.scenarios.presets` is the built-in catalogue (``baseline``,
-``multihop_lossy``, ``edge_cache``, ``churn``, plus the
-graph-structured ``sensor_grid``, ``smallworld_gossip``,
-``scalefree_p2p`` and ``powerline_multihop`` riding
-:mod:`repro.topology`);
+``multihop_lossy``, ``edge_cache``, ``churn``, the graph-structured
+``sensor_grid``, ``smallworld_gossip``, ``scalefree_p2p`` and
+``powerline_multihop`` riding :mod:`repro.topology`, plus the
+multi-content ``zipf_catalogue``, ``edge_cache_catalogue`` and
+``striped_vod`` riding :mod:`repro.content`);
 :mod:`~repro.scenarios.runner` fans scenario × seed grids out across
 worker processes; :mod:`~repro.scenarios.aggregate` folds the per-trial
 results into mean/CI summaries with deterministic JSON export.
@@ -16,13 +17,16 @@ CLI: ``python -m repro.scenarios --scenario churn --trials 8
 --workers 4 --seed 7``.
 """
 
+from repro.content.spec import CatalogueSpec, ContentSpec
 from repro.scenarios.aggregate import ScenarioAggregate, summary_stats
 from repro.scenarios.presets import (
+    CONTENT_PRESETS,
     PRESETS,
     TOPOLOGY_PRESETS,
     baseline,
     churn,
     edge_cache,
+    edge_cache_catalogue,
     get_preset,
     multihop_lossy,
     powerline_multihop,
@@ -30,6 +34,8 @@ from repro.scenarios.presets import (
     scalefree_p2p,
     sensor_grid,
     smallworld_gossip,
+    striped_vod,
+    zipf_catalogue,
 )
 from repro.scenarios.runner import (
     TrialRunner,
@@ -44,11 +50,13 @@ from repro.topology.spec import TopologySpec
 __all__ = [
     "ScenarioAggregate",
     "summary_stats",
+    "CONTENT_PRESETS",
     "PRESETS",
     "TOPOLOGY_PRESETS",
     "baseline",
     "churn",
     "edge_cache",
+    "edge_cache_catalogue",
     "get_preset",
     "multihop_lossy",
     "powerline_multihop",
@@ -56,6 +64,10 @@ __all__ = [
     "scalefree_p2p",
     "sensor_grid",
     "smallworld_gossip",
+    "striped_vod",
+    "zipf_catalogue",
+    "CatalogueSpec",
+    "ContentSpec",
     "TopologySpec",
     "TrialRunner",
     "TrialSpec",

@@ -38,6 +38,22 @@ constrained to graph neighbourhoods, loss derived from hop distance:
     graph-exact version of ``multihop_lossy``'s ring approximation
     (Kabore et al.).
 
+Three more lift the stack to catalogue dissemination via
+:mod:`repro.content` — many contents, skewed demand, node caches:
+
+``zipf_catalogue``
+    A four-content catalogue under Zipf demand: every node wants two
+    contents, the origin schedules pushes by popularity, the tail
+    starves relative to the head.
+``edge_cache_catalogue``
+    The origin → edge-cache → client hierarchy (Recayte et al.): an
+    ``edge_tree`` overlay whose nodes nearest the root run LRU packet
+    caches for contents outside their own interest sets.
+``striped_vod``
+    A two-title VOD library: every node wants both contents, each
+    striped into generations (Tsai et al., multiple-configuration LT),
+    fed round-robin by the origin.
+
 Add a scenario by writing a ``def my_scenario(profile) -> ScenarioSpec``
 factory and registering it in :data:`PRESETS`; everything downstream
 (CLI, runner, benches, golden tests) picks it up by name.
@@ -47,6 +63,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.content.spec import CatalogueSpec
 from repro.errors import SimulationError
 from repro.scenarios.spec import ScenarioSpec
 from repro.gossip.channel import ChurnPhase
@@ -55,6 +72,7 @@ from repro.topology.spec import TopologySpec
 __all__ = [
     "PRESETS",
     "TOPOLOGY_PRESETS",
+    "CONTENT_PRESETS",
     "baseline",
     "multihop_lossy",
     "edge_cache",
@@ -63,6 +81,9 @@ __all__ = [
     "smallworld_gossip",
     "scalefree_p2p",
     "powerline_multihop",
+    "zipf_catalogue",
+    "edge_cache_catalogue",
+    "striped_vod",
     "get_preset",
     "preset_names",
 ]
@@ -243,6 +264,104 @@ def powerline_multihop(profile=None) -> ScenarioSpec:
     )
 
 
+def zipf_catalogue(profile=None) -> ScenarioSpec:
+    """A multi-content catalogue under Zipf demand, no caches.
+
+    Four contents at half the profile's code length; every node wants
+    two of them, drawn by Zipf(1.0) popularity, and the origin
+    schedules its pushes from the same distribution — the head of the
+    catalogue spreads epidemically while the tail relies on the few
+    nodes that want it.
+    """
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="zipf_catalogue",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        content=CatalogueSpec(
+            n_contents=4,
+            k=max(1, p.k_default // 2),
+            demand="zipf",
+            zipf_s=1.0,
+            interests_per_node=2,
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def edge_cache_catalogue(profile=None) -> ScenarioSpec:
+    """Edge caches at the roots of a distribution tree (Recayte et al.).
+
+    An ``edge_tree`` overlay with per-hop erasures; the quarter of the
+    nodes nearest the root run LRU caches sized to about 1.5 contents,
+    storing and recoding catalogue entries *outside* their own interest
+    sets, so clients deeper in the tree are served from the edge
+    instead of the origin.
+    """
+    p = _profile(profile)
+    k = max(1, p.k_default // 2)
+    return ScenarioSpec(
+        name="edge_cache_catalogue",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        sampler="topology",
+        topology=TopologySpec(
+            graph="edge_tree",
+            params={"branching": 3},
+            loss_mode="hop",
+            per_hop_loss=0.01,
+            root=0,
+        ),
+        content=CatalogueSpec(
+            n_contents=3,
+            k=k,
+            demand="zipf",
+            zipf_s=1.2,
+            interests_per_node=1,
+            cache_policy="lru",
+            cache_fraction=0.25,
+            cache_capacity=(3 * k) // 2,
+            cache_at_root=True,
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
+def striped_vod(profile=None) -> ScenarioSpec:
+    """A two-title VOD library, generation-striped, fed round-robin.
+
+    Every node wants both contents; each content of the profile's full
+    code length is striped into four generations (header and working
+    set shrink four-fold, at the price of the per-generation LT
+    overhead and a coupon-collector tail), and the origin cycles the
+    catalogue strictly round-robin — the steady feed of a VOD head-end.
+    """
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="striped_vod",
+        scheme="ltnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        content=CatalogueSpec(
+            n_contents=2,
+            k=p.k_default,
+            demand="uniform",
+            interests_per_node=2,
+            generation_size=max(1, p.k_default // 4),
+            source_schedule="round_robin",
+        ),
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
 PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "baseline": baseline,
     "multihop_lossy": multihop_lossy,
@@ -252,6 +371,9 @@ PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "smallworld_gossip": smallworld_gossip,
     "scalefree_p2p": scalefree_p2p,
     "powerline_multihop": powerline_multihop,
+    "zipf_catalogue": zipf_catalogue,
+    "edge_cache_catalogue": edge_cache_catalogue,
+    "striped_vod": striped_vod,
 }
 
 #: The graph-structured subset (the ``topo_compare`` sweep's default).
@@ -260,6 +382,13 @@ TOPOLOGY_PRESETS: tuple[str, ...] = (
     "scalefree_p2p",
     "sensor_grid",
     "smallworld_gossip",
+)
+
+#: The catalogue subset (the ``content_compare`` sweep's default).
+CONTENT_PRESETS: tuple[str, ...] = (
+    "zipf_catalogue",
+    "edge_cache_catalogue",
+    "striped_vod",
 )
 
 

@@ -3,14 +3,16 @@
 A :class:`ScenarioSpec` is a frozen, JSON-serialisable description of
 one dissemination workload: network size, scheme, code length, channel
 imperfections (globally or per receiver), churn schedule, number of
-content sources, cache warm-up, peer-sampling configuration, and — for
-graph-shaped workloads — an embedded
+content sources, cache warm-up, peer-sampling configuration, for
+graph-shaped workloads an embedded
 :class:`~repro.topology.spec.TopologySpec` that compiles into a
-topology-aware sampler and channel.  It
-compiles down to a fully configured
-:class:`~repro.gossip.simulator.EpidemicSimulator` via :meth:`build`,
-so a trial is reproducible from nothing but the spec dict and an
-integer seed — which is exactly what the parallel
+topology-aware sampler and channel, and for multi-content workloads an
+embedded :class:`~repro.content.spec.CatalogueSpec` (demand model,
+node caches, generation striping).  It compiles down to a fully
+configured :class:`~repro.gossip.simulator.EpidemicSimulator` (or
+:class:`~repro.content.simulator.CatalogueSimulator`) via
+:meth:`build`, so a trial is reproducible from nothing but the spec
+dict and an integer seed — which is exactly what the parallel
 :class:`~repro.scenarios.runner.TrialRunner` ships to its workers.
 """
 
@@ -19,6 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field, replace
 
+from repro.content.spec import CatalogueSpec
 from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
 from repro.gossip.peer_sampling import PeerSampler, ViewSampler
@@ -65,6 +68,8 @@ class ScenarioSpec:
     renewal_period: int = 1
     # -- structured overlay (graph-shaped workloads) ------------------
     topology: TopologySpec | None = None
+    # -- multi-content catalogue (demand + cache workloads) -----------
+    content: CatalogueSpec | None = None
     # -- scheme-specific node knobs -----------------------------------
     node_kwargs: dict[str, object] = field(default_factory=dict)
 
@@ -126,6 +131,31 @@ class ScenarioSpec:
                 f"topology root {self.topology.root} outside node range "
                 f"[0, {self.n_nodes})"
             )
+        if self.content is not None and not isinstance(
+            self.content, CatalogueSpec
+        ):
+            object.__setattr__(
+                self, "content", CatalogueSpec.from_dict(self.content)
+            )
+        if self.content is not None:
+            if self.feedback == Feedback.FULL.value:
+                raise SimulationError(
+                    "catalogue workloads support feedback 'none' or "
+                    "'binary' (full-feedback smart construction is "
+                    "single-content only)"
+                )
+            if self.warm_fraction or self.warm_packets:
+                raise SimulationError(
+                    "catalogue workloads model caches through the "
+                    "content field; warm_fraction/warm_packets apply "
+                    "to single-content scenarios only"
+                )
+            if self.content.cache_at_root and self.topology is None:
+                raise SimulationError(
+                    "cache_at_root requires a topology field"
+                )
+            # Resolve early so bad pins/schemes fail at spec time.
+            self.content.resolve(self.k, self.scheme)
 
     # -- compilation ---------------------------------------------------
     def channel(self) -> ChannelModel:
@@ -154,18 +184,22 @@ class ScenarioSpec:
             rng=derive(seed, "sampler", self.name),
         )
 
-    def build(self, seed: int) -> EpidemicSimulator:
+    def build(self, seed: int):
         """Compile the spec into a ready-to-run simulator.
 
         The same ``(spec, seed)`` pair always builds a bit-identical
         simulator, including the cache warm-up and any topology graph
         (grown from a seed derived off the trial seed), so any trial
-        of a parallel sweep can be reproduced standalone.
+        of a parallel sweep can be reproduced standalone.  Returns an
+        :class:`EpidemicSimulator`, or a
+        :class:`~repro.content.simulator.CatalogueSimulator` when the
+        spec carries a ``content`` catalogue.
         """
         sampler = self._sampler(seed)
         channel = self.channel()
+        graph = None
         if self.topology is not None:
-            _, topo_sampler, channel = self.topology.build(
+            graph, topo_sampler, channel = self.topology.build(
                 self.n_nodes,
                 channel,
                 seed,
@@ -173,6 +207,8 @@ class ScenarioSpec:
             )
             if self.sampler == "topology":
                 sampler = topo_sampler
+        if self.content is not None:
+            return self._build_catalogue(seed, sampler, channel, graph)
         sim = EpidemicSimulator(
             self.scheme,
             self.n_nodes,
@@ -196,8 +232,80 @@ class ScenarioSpec:
             sim.prewarm(warm_ids, self.warm_packets)
         return sim
 
+    def _build_catalogue(self, seed, sampler, channel, graph):
+        """Compile the ``content`` field into a CatalogueSimulator.
+
+        All catalogue randomness (demand assignment, cache placement,
+        per-endpoint rngs) lives in :func:`repro.rng.derive` streams
+        keyed under ``"content"``, so it cannot perturb the
+        single-content master-draw layout and stays worker-count
+        invariant.
+        """
+        from repro.content.demand import DemandModel
+        from repro.content.simulator import CatalogueSimulator
+
+        cat = self.content
+        catalogue = cat.resolve(self.k, self.scheme)
+        demand = DemandModel(len(catalogue), kind=cat.demand, s=cat.zipf_s)
+        interests = demand.assign_interests(
+            self.n_nodes,
+            cat.interests_per_node,
+            rng=derive(seed, "content", "demand", self.name),
+        )
+        cache_policy = None
+        cache_nodes: tuple[int, ...] = ()
+        pinned: frozenset[int] = frozenset()
+        n_cache = int(round(cat.cache_fraction * self.n_nodes))
+        if cat.cache_policy != "none" and n_cache:
+            cache_policy = cat.cache_policy
+            if cat.cache_at_root:
+                # The nodes nearest the overlay root become the edge
+                # caches — the origin feeds them first by construction.
+                hops = graph.hops_from(self.topology.root)
+                ranked = sorted(range(self.n_nodes), key=lambda i: (hops[i], i))
+                cache_nodes = tuple(sorted(ranked[:n_cache]))
+            else:
+                cache_rng = derive(seed, "content", "caches", self.name)
+                cache_nodes = tuple(
+                    sorted(
+                        int(i)
+                        for i in cache_rng.choice(
+                            self.n_nodes, size=n_cache, replace=False
+                        )
+                    )
+                )
+            name_to_index = {c.name: i for i, c in enumerate(catalogue)}
+            pinned = frozenset(
+                name_to_index[n] for n in cat.pin_contents
+            )
+        return CatalogueSimulator(
+            catalogue,
+            self.n_nodes,
+            demand,
+            interests,
+            cache_policy=cache_policy,
+            cache_capacity=cat.cache_capacity,
+            cache_nodes=cache_nodes,
+            pinned=pinned,
+            binary_feedback=self.feedback == Feedback.BINARY.value,
+            source_pushes=self.source_pushes,
+            n_sources=self.n_sources,
+            source_schedule=cat.source_schedule,
+            max_rounds=self.max_rounds,
+            seed=seed,
+            node_kwargs=dict(self.node_kwargs),
+            sampler=sampler,
+            channel=channel,
+        )
+
     def run(self, seed: int):
-        """Build and run one trial; returns the DisseminationResult."""
+        """Build and run one trial.
+
+        Returns the :class:`~repro.gossip.metrics.DisseminationResult`
+        — or a :class:`~repro.content.metrics.CatalogueResult` for
+        catalogue workloads; both expose the ``key_metrics()`` the
+        aggregation layer consumes.
+        """
         return self.build(seed).run()
 
     # -- serialisation -------------------------------------------------
@@ -208,6 +316,9 @@ class ScenarioSpec:
         payload["churn_phases"] = [asdict(p) for p in self.churn_phases]
         payload["topology"] = (
             self.topology.to_dict() if self.topology is not None else None
+        )
+        payload["content"] = (
+            self.content.to_dict() if self.content is not None else None
         )
         return payload
 

@@ -1,0 +1,48 @@
+"""CLI argument guards for the experiment sweep drivers.
+
+The sweeps share the runner knobs of ``python -m repro.scenarios`` and
+must reject bad values with argparse's short error message — never a
+traceback — via :mod:`repro.experiments.cliutil`.  Parametrised over
+both drivers so a future sweep copying the helper inherits the
+contract.
+"""
+
+import pytest
+
+from repro.experiments import content_compare, topo_compare
+
+DRIVERS = {
+    "topo_compare": topo_compare.main,
+    "content_compare": content_compare.main,
+}
+
+BAD_ARGS = [
+    (["--workers", "0"], "--workers must be >= 1"),
+    (["--workers", "-2"], "--workers must be >= 1"),
+    (["--trials", "0"], "--trials must be >= 1"),
+    (["--trials", "-3"], "--trials must be >= 1"),
+    (["--scale", "nope"], "unknown scale 'nope'"),
+]
+
+
+@pytest.mark.parametrize("driver", sorted(DRIVERS))
+@pytest.mark.parametrize("argv, fragment", BAD_ARGS)
+def test_sweep_cli_rejects_bad_arguments(capsys, driver, argv, fragment):
+    with pytest.raises(SystemExit) as excinfo:
+        DRIVERS[driver](argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert "Traceback" not in err
+
+
+@pytest.mark.parametrize("driver", sorted(DRIVERS))
+def test_sweep_cli_rejects_bad_ltnc_scale_env(capsys, driver, monkeypatch):
+    # An invalid LTNC_SCALE environment surfaces as a parser error too.
+    monkeypatch.setenv("LTNC_SCALE", "huge")
+    with pytest.raises(SystemExit) as excinfo:
+        DRIVERS[driver]([])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "LTNC_SCALE" in err
+    assert "Traceback" not in err

@@ -120,11 +120,14 @@ def test_preset_catalogue():
         "baseline",
         "churn",
         "edge_cache",
+        "edge_cache_catalogue",
         "multihop_lossy",
         "powerline_multihop",
         "scalefree_p2p",
         "sensor_grid",
         "smallworld_gossip",
+        "striped_vod",
+        "zipf_catalogue",
     )
     with pytest.raises(SimulationError):
         get_preset("nope")

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 import pytest
 
+from repro.content.spec import CatalogueSpec
 from repro.gossip.channel import ChurnPhase
 from repro.scenarios import (
     TOPOLOGY_PRESETS,
@@ -56,6 +57,47 @@ def topology_specs(draw, n_nodes):
 
 
 @st.composite
+def catalogue_specs(draw):
+    n_contents = draw(st.integers(min_value=1, max_value=5))
+    cache_policy = draw(st.sampled_from(["none", "lru", "lfu", "pin"]))
+    pin_contents: tuple[str, ...] = ()
+    if cache_policy == "pin":
+        picks = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_contents - 1),
+                min_size=1,
+                max_size=n_contents,
+                unique=True,
+            )
+        )
+        pin_contents = tuple(f"c{i}" for i in sorted(picks))
+    return CatalogueSpec(
+        n_contents=n_contents,
+        k=draw(st.integers(min_value=0, max_value=64)),
+        generation_size=draw(st.integers(min_value=0, max_value=8)),
+        demand=draw(st.sampled_from(["zipf", "uniform"])),
+        zipf_s=draw(
+            st.floats(
+                min_value=0.0,
+                max_value=3.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        interests_per_node=draw(st.integers(min_value=1, max_value=n_contents)),
+        cache_policy=cache_policy,
+        cache_fraction=draw(_probability),
+        cache_capacity=(
+            0
+            if cache_policy == "none"
+            else draw(st.integers(min_value=1, max_value=64))
+        ),
+        pin_contents=pin_contents,
+        source_schedule=draw(st.sampled_from(["popularity", "round_robin"])),
+    )
+
+
+@st.composite
 def scenario_specs(draw):
     n_nodes = draw(st.integers(min_value=2, max_value=64))
     node_loss = draw(
@@ -64,12 +106,25 @@ def scenario_specs(draw):
             st.tuples(*([_probability] * n_nodes)),
         )
     )
+    content = draw(st.one_of(st.none(), catalogue_specs()))
+    if content is not None:
+        # Catalogue workloads: binary/none transport, no prewarm.
+        feedback = draw(st.sampled_from(["none", "binary"]))
+        warm_fraction, warm_packets = 0.0, 0
+        scheme = "ltnc" if content.generation_size else draw(
+            st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"])
+        )
+    else:
+        feedback = draw(st.sampled_from(["none", "binary", "full"]))
+        warm_fraction = draw(_probability)
+        warm_packets = draw(st.integers(min_value=0, max_value=128))
+        scheme = draw(st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"]))
     return ScenarioSpec(
         name=draw(_names),
-        scheme=draw(st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"])),
+        scheme=scheme,
         n_nodes=n_nodes,
         k=draw(st.integers(min_value=1, max_value=256)),
-        feedback=draw(st.sampled_from(["none", "binary", "full"])),
+        feedback=feedback,
         source_pushes=draw(st.integers(min_value=1, max_value=8)),
         n_sources=draw(st.integers(min_value=1, max_value=4)),
         max_rounds=draw(st.integers(min_value=1, max_value=10**6)),
@@ -80,12 +135,13 @@ def scenario_specs(draw):
         churn_phases=tuple(
             draw(st.lists(churn_phases(), max_size=4))
         ),
-        warm_fraction=draw(_probability),
-        warm_packets=draw(st.integers(min_value=0, max_value=128)),
+        warm_fraction=warm_fraction,
+        warm_packets=warm_packets,
         sampler=draw(st.sampled_from(["uniform", "view"])),
         view_size=draw(st.integers(min_value=1, max_value=32)),
         renewal_period=draw(st.integers(min_value=1, max_value=16)),
         topology=draw(st.one_of(st.none(), topology_specs(n_nodes))),
+        content=content,
         node_kwargs=draw(
             st.dictionaries(
                 _names,
