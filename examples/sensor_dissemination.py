@@ -17,6 +17,7 @@ Run:  python examples/sensor_dissemination.py
 
 from repro.costmodel import CycleModel
 from repro.gossip import Feedback, run_dissemination
+from repro.schemes import get_scheme
 
 N_SENSORS = 24     # nodes in the sensor field
 K = 64             # firmware split into k native packets
@@ -39,7 +40,7 @@ def main() -> None:
             seed=42,
             feedback=Feedback.BINARY,
             max_rounds=50_000,
-            node_kwargs={"aggressiveness": 0.01} if scheme == "ltnc" else None,
+            node_kwargs=dict(get_scheme(scheme).default_node_kwargs),
         )
         decode_cycles = model.breakdown(result.decode_ops).total_cycles
         print(f"{scheme:<6} {result.rounds:>7} "

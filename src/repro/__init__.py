@@ -31,6 +31,7 @@ Package map
 ``repro.rlnc``        random linear network coding baseline
 ``repro.wc``          uncoded epidemic baseline
 ``repro.core``        the paper's contribution: LTNC recoding
+``repro.schemes``     pluggable coding-scheme descriptors + registry
 ``repro.gossip``      epidemic dissemination simulator
 ``repro.costmodel``   operation counting and the CPU-cycle model
 ``repro.experiments`` figure/table harnesses (see benchmarks/)

@@ -15,7 +15,8 @@ contents.  Each gossip period:
    use (topology overlays included).
 
 Per (node, content) coding state is a lazily-created **endpoint**: a
-scheme node from :mod:`repro.gossip.source`, or — when the content is
+scheme node from the :mod:`repro.schemes` registry, or — when the
+content is
 generation-striped — a :class:`~repro.generations.manager.GenerationNode`.
 A receiver that neither wants a content nor caches it refuses the
 session at header time under binary feedback (the paper's abort
@@ -43,8 +44,8 @@ from repro.generations.manager import (
 )
 from repro.gossip.channel import ChannelModel
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
-from repro.gossip.source import make_node, make_source
 from repro.rng import derive
+from repro.schemes import resolve
 
 __all__ = ["CatalogueSimulator"]
 
@@ -275,7 +276,9 @@ class CatalogueSimulator:
                     content.k, content.generation_size, rng=rng
                 )
             )
-        return _PlainEndpoint(make_source(content.scheme, content.k, rng=rng))
+        return _PlainEndpoint(
+            resolve(content.scheme).make_source(content.k, rng=rng)
+        )
 
     def _make_node_endpoint(
         self, node_id: int, content_index: int
@@ -300,8 +303,7 @@ class CatalogueSimulator:
                 )
             )
         return _PlainEndpoint(
-            make_node(
-                content.scheme,
+            resolve(content.scheme).make_node(
                 node_id,
                 content.k,
                 n_nodes=self.n_nodes,

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from repro.errors import SimulationError
-from repro.gossip.source import SCHEMES
+from repro.schemes import resolve
 
 __all__ = ["ContentSpec", "CatalogueSpec"]
 
@@ -46,18 +46,18 @@ class ContentSpec:
             raise SimulationError("content name must be non-empty")
         if self.k < 1:
             raise SimulationError(f"content k must be >= 1, got {self.k}")
-        if self.scheme not in SCHEMES:
-            raise SimulationError(
-                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
-            )
+        # Friendly error on unknown names; descriptors normalise to
+        # their name so the spec stays a plain-JSON value.
+        scheme = resolve(self.scheme)
+        object.__setattr__(self, "scheme", scheme.name)
         if self.generation_size < 0:
             raise SimulationError(
                 f"generation_size must be >= 0, got {self.generation_size}"
             )
-        if self.generation_size and self.scheme != "ltnc":
+        if self.generation_size and not scheme.supports_generations:
             raise SimulationError(
-                "generation striping requires scheme 'ltnc', "
-                f"got {self.scheme!r}"
+                "generation striping requires a scheme with generation "
+                f"support, and {self.scheme!r} has none"
             )
 
     @property
@@ -146,10 +146,9 @@ class CatalogueSpec:
                 )
         if self.k < 0:
             raise SimulationError(f"k must be >= 0, got {self.k}")
-        if self.scheme and self.scheme not in SCHEMES:
-            raise SimulationError(
-                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
-            )
+        if self.scheme:
+            # Friendly error on unknown names; descriptors normalise.
+            object.__setattr__(self, "scheme", resolve(self.scheme).name)
         if self.generation_size < 0:
             raise SimulationError(
                 f"generation_size must be >= 0, got {self.generation_size}"

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.node import LtncNode
 from repro.gossip.simulator import EpidemicSimulator, Feedback
 from repro.rng import derive
+from repro.schemes import LTNC_AGGRESSIVENESS
 
 __all__ = [
     "AblationOutcome",
@@ -56,7 +57,7 @@ def run_ltnc_variant(
     **node_kwargs: object,
 ) -> AblationOutcome:
     """Run LTNC with variant node knobs and summarize the §IV-B metrics."""
-    node_kwargs.setdefault("aggressiveness", 0.01)
+    node_kwargs.setdefault("aggressiveness", LTNC_AGGRESSIVENESS)
     completions, overheads, aborts, rsds = [], [], [], []
     sessions = transfers = 0
     for run in range(monte_carlo):

@@ -19,6 +19,7 @@ __all__ = [
     "add_runner_arguments",
     "validate_runner_arguments",
     "resolve_profile",
+    "comparison_rows",
     "print_table",
     "write_aggregates",
 ]
@@ -76,6 +77,35 @@ def resolve_profile(parser: argparse.ArgumentParser, scale: str | None):
         return current_profile()
     except KeyError as exc:
         parser.error(str(exc.args[0]))
+
+
+def comparison_rows(
+    aggregates: dict,
+    columns: tuple,
+    label: str = "scenario",
+    row_key=None,
+) -> tuple[list[str], list[list[str]]]:
+    """``(header, rows)`` of a sweep table, aggregates in run order.
+
+    *columns* lists ``(metrics_summary key, short header)`` pairs;
+    each cell renders ``mean±ci95``, or ``n/a`` where the metric does
+    not apply (absent key, or ``None`` mean — e.g. cache columns for a
+    single-content workload).  *row_key* maps ``(name, aggregate)`` to
+    the first cell, defaulting to the aggregate's name.
+    """
+    header = [label] + [short for _, short in columns]
+    rows = []
+    for name, aggregate in aggregates.items():
+        summary = aggregate.metrics_summary()
+        row = [row_key(name, aggregate) if row_key else name]
+        for key, _ in columns:
+            stats = summary.get(key)
+            mean = stats["mean"] if stats else None
+            row.append(
+                "n/a" if mean is None else f"{mean:.2f}±{stats['ci95']:.2f}"
+            )
+        rows.append(row)
+    return header, rows
 
 
 def print_table(header: list[str], rows: list[list[str]]) -> None:

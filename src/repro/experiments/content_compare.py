@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.experiments import cliutil
 from repro.experiments.cliutil import (
     add_runner_arguments,
     print_table,
@@ -83,19 +84,7 @@ def comparison_rows(
     as ``n/a`` rather than zero, so the table never suggests the
     uniform workload measured a cache.
     """
-    header = ["scenario"] + [label for _, label in _COLUMNS]
-    rows = []
-    for name, aggregate in aggregates.items():
-        summary = aggregate.metrics_summary()
-        row = [name]
-        for key, _ in _COLUMNS:
-            stats = summary.get(key)
-            mean = stats["mean"] if stats else None
-            row.append(
-                "n/a" if mean is None else f"{mean:.2f}±{stats['ci95']:.2f}"
-            )
-        rows.append(row)
-    return header, rows
+    return cliutil.comparison_rows(aggregates, _COLUMNS)
 
 
 def main(argv: list[str] | None = None) -> int:

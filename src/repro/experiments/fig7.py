@@ -27,6 +27,7 @@ from repro.gossip.metrics import DisseminationResult
 from repro.gossip.simulator import EpidemicSimulator, Feedback
 from repro.rng import derive
 from repro.scenarios.runner import parallel_map
+from repro.schemes import LTNC_AGGRESSIVENESS, get_scheme
 
 __all__ = [
     "ConvergenceCurve",
@@ -35,16 +36,6 @@ __all__ = [
     "ltnc_overhead",
     "LTNC_AGGRESSIVENESS",
 ]
-
-# §IV-A: aggressiveness tuned so completion time is minimized,
-# "typically 1 % for LTNC"; WC and RLNC recode without delay.
-LTNC_AGGRESSIVENESS = 0.01
-
-
-def _node_kwargs(scheme: str) -> dict[str, object]:
-    if scheme == "ltnc":
-        return {"aggressiveness": LTNC_AGGRESSIVENESS}
-    return {}
 
 
 @dataclass
@@ -80,7 +71,9 @@ def _run_once(
     feedback: Feedback,
     node_kwargs: dict[str, object] | None = None,
 ) -> DisseminationResult:
-    kwargs = dict(_node_kwargs(scheme))
+    # Per-scheme experiment defaults (LTNC's 1 % aggressiveness, §IV-A)
+    # come from the scheme descriptor; explicit kwargs override them.
+    kwargs = dict(get_scheme(scheme).default_node_kwargs)
     if node_kwargs:
         kwargs.update(node_kwargs)
     sim = EpidemicSimulator(

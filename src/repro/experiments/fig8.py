@@ -25,25 +25,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.node import LtncNode
 from repro.costmodel.counters import OpCounter
 from repro.costmodel.cycles import CostBreakdown, CycleModel
 from repro.errors import SimulationError
-from repro.lt.distributions import RobustSoliton
-from repro.lt.encoder import LTEncoder
-from repro.rlnc.node import RlncNode
-from repro.rng import derive
+from repro.schemes import WARM_FILL, CostProbe, get_scheme
 
 __all__ = [
     "CostPoint",
+    "WARM_FILL",
     "measure_recoding",
     "measure_decoding",
     "cost_series",
 ]
-
-#: Fraction of k innovative packets a "warm" node holds when recoding
-#: costs are sampled — a node in the thick of the dissemination.
-WARM_FILL = 0.9
 
 
 @dataclass(frozen=True)
@@ -61,24 +54,19 @@ class CostPoint:
         return self.control_cycles + self.data_cycles
 
 
-def _warm_ltnc(k: int, seed: int) -> LtncNode:
-    """An LTNC node mid-dissemination (WARM_FILL of k packets held)."""
-    encoder = LTEncoder(k, RobustSoliton(k), rng=derive(seed, "warm-enc", k))
-    node = LtncNode(0, k, rng=derive(seed, "warm-ltnc", k))
-    target = max(2, int(WARM_FILL * k))
-    while node.innovative_count < target:
-        node.receive(encoder.next_packet())
-    return node
+def _cost_probe(scheme: str, panel: str) -> CostProbe:
+    """The scheme's Figure-8 probe, or a friendly error if it has none.
 
-
-def _warm_rlnc(k: int, seed: int) -> RlncNode:
-    """An RLNC node mid-dissemination (WARM_FILL of k packets held)."""
-    source = RlncNode.as_source(k, rng=derive(seed, "warm-src", k))
-    node = RlncNode(0, k, rng=derive(seed, "warm-rlnc", k))
-    target = max(2, int(WARM_FILL * k))
-    while node.innovative_count < target:
-        node.receive(source.make_packet())
-    return node
+    Warming strategies and packet streams live on the scheme
+    descriptors (:mod:`repro.schemes.builtin`), so a newly registered
+    scheme shows up in the cost panels by carrying a
+    :class:`~repro.schemes.descriptor.CostProbe` — no edits here.
+    """
+    probe = get_scheme(scheme).cost_probe
+    hook = "warm" if panel == "recoding" else "decode_stream"
+    if probe is None or getattr(probe, hook) is None:
+        raise SimulationError(f"no {panel} cost model for scheme {scheme!r}")
+    return probe
 
 
 def measure_recoding(
@@ -90,14 +78,8 @@ def measure_recoding(
 ) -> CostPoint:
     """Figures 8a/8c: average cost of producing one recoded packet."""
     model = model if model is not None else CycleModel()
-    if scheme == "ltnc":
-        node = _warm_ltnc(k, seed)
-        counter = node.recode_counter
-    elif scheme == "rlnc":
-        node = _warm_rlnc(k, seed)
-        counter = node.recode_counter
-    else:
-        raise SimulationError(f"no recoding cost model for scheme {scheme!r}")
+    node = _cost_probe(scheme, "recoding").warm(k, seed)
+    counter = node.recode_counter
     before = counter.snapshot()
     for _ in range(samples):
         node.make_packet()
@@ -126,20 +108,8 @@ def measure_decoding(
     (k * m bytes), matching the paper's "CPU cycles per byte" axis.
     """
     model = model if model is not None else CycleModel()
-    if scheme == "ltnc":
-        encoder = LTEncoder(
-            k, RobustSoliton(k), rng=derive(seed, "dec-enc", k)
-        )
-        node = LtncNode(0, k, rng=derive(seed, "dec-ltnc", k))
-        next_packet = encoder.next_packet
-        counter = node.decode_counter
-    elif scheme == "rlnc":
-        source = RlncNode.as_source(k, rng=derive(seed, "dec-src", k))
-        node = RlncNode(0, k, rng=derive(seed, "dec-rlnc", k))
-        next_packet = source.make_packet
-        counter = node.decode_counter
-    else:
-        raise SimulationError(f"no decoding cost model for scheme {scheme!r}")
+    node, next_packet = _cost_probe(scheme, "decoding").decode_stream(k, seed)
+    counter = node.decode_counter
     guard = 60 * k + 1000
     while not node.is_complete():
         node.receive(next_packet())

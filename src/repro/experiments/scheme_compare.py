@@ -1,0 +1,150 @@
+"""Scheme comparison sweep — the Fig. 7 three-way race, registry-wide.
+
+The paper's evaluation (§IV-B) compares WC / RLNC / LTNC over one
+dissemination workload.  This driver generalises that comparison to
+*every* scheme in the :mod:`repro.schemes` registry: each scheme runs
+the ``baseline`` scenario (same network size, code length and channel)
+with its own descriptor defaults, under the parallel trial runner, and
+the table shows completion delay, overhead and abort traffic side by
+side.  Registering a new scheme is enough to enter it in the race —
+no edits here (that is how ``sparse_rlnc`` shows up).
+
+Library use::
+
+    from repro.experiments.scheme_compare import run_scheme_compare
+    aggregates = run_scheme_compare(n_workers=4)
+
+CLI use::
+
+    python -m repro.experiments.scheme_compare --trials 4 --workers 4 \
+        --scale quick --out benchmarks/out/scheme_compare.json
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import cliutil
+from repro.experiments.cliutil import (
+    add_runner_arguments,
+    print_table,
+    resolve_profile,
+    validate_runner_arguments,
+    write_aggregates,
+)
+from repro.scenarios.aggregate import ScenarioAggregate
+from repro.scenarios.presets import get_preset
+from repro.scenarios.runner import TrialRunner
+from repro.errors import SimulationError
+from repro.schemes import available_schemes, get_scheme
+
+__all__ = ["run_scheme_compare", "comparison_rows", "main"]
+
+#: Sweep columns: (metrics_summary key, short report header).
+_COLUMNS = (
+    ("rounds", "rounds"),
+    ("average_completion_round", "avg_complete"),
+    ("overhead", "overhead"),
+    ("aborted", "aborted"),
+)
+
+
+def scheme_specs(schemes: tuple[str, ...] | None = None, profile=None):
+    """One ``baseline`` :class:`ScenarioSpec` per scheme.
+
+    Each spec is the baseline preset re-pointed at the scheme with the
+    descriptor's ``default_node_kwargs`` (LTNC's 1 % aggressiveness,
+    sparse RLNC's density, ...), named ``baseline[<scheme>]`` so the
+    per-scheme rng trees stay distinct and the aggregates keyed.
+    """
+    names = schemes if schemes is not None else available_schemes()
+    base = get_preset("baseline", profile)
+    return [
+        base.with_(
+            name=f"baseline[{name}]",
+            scheme=name,
+            node_kwargs=dict(get_scheme(name).default_node_kwargs),
+        )
+        for name in names
+    ]
+
+
+def run_scheme_compare(
+    schemes: tuple[str, ...] | None = None,
+    n_trials: int | None = None,
+    master_seed: int = 2010,
+    n_workers: int = 1,
+    profile=None,
+) -> dict[str, ScenarioAggregate]:
+    """Run the registry sweep; one aggregate per scheme.
+
+    ``schemes=None`` races everything registered.  Trials fan out
+    across ``n_workers`` processes with the runner's usual guarantees
+    (bit-reproducible seeds, worker-count-invariant aggregates).
+    """
+    from repro.experiments.scale import current_profile
+
+    p = profile if profile is not None else current_profile()
+    trials = n_trials if n_trials is not None else max(2, p.monte_carlo)
+    specs = scheme_specs(schemes, p)
+    return TrialRunner(n_workers=n_workers).run_grid(
+        specs, trials, master_seed=master_seed
+    )
+
+
+def comparison_rows(
+    aggregates: dict[str, ScenarioAggregate],
+) -> tuple[list[str], list[list[str]]]:
+    """``(header, rows)`` of the sweep table, schemes in run order."""
+    return cliutil.comparison_rows(
+        aggregates,
+        _COLUMNS,
+        label="scheme",
+        row_key=lambda name, aggregate: aggregate.scenario.scheme or name,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.scheme_compare",
+        description="Race every registered coding scheme over the "
+        "baseline scenario under the parallel trial runner.",
+    )
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        metavar="SCHEME",
+        help="schemes to race (default: everything registered)",
+    )
+    add_runner_arguments(parser)
+    args = parser.parse_args(argv)
+    validate_runner_arguments(parser, args)
+    profile = resolve_profile(parser, args.scale)
+    schemes = None
+    if args.schemes:
+        # De-duplicate (run_grid rejects repeated scenario names) while
+        # keeping the user's order.
+        schemes = tuple(dict.fromkeys(args.schemes))
+        for name in schemes:
+            try:
+                get_scheme(name)  # one message source: the registry's
+            except SimulationError as exc:
+                parser.error(str(exc))
+
+    aggregates = run_scheme_compare(
+        schemes=schemes,
+        n_trials=args.trials,
+        master_seed=args.seed,
+        n_workers=args.workers,
+        profile=profile,
+    )
+    header, rows = comparison_rows(aggregates)
+    print_table(header, rows)
+    if args.out:
+        write_aggregates(args.out, aggregates)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

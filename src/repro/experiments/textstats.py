@@ -30,6 +30,7 @@ from repro.gossip.simulator import EpidemicSimulator, Feedback
 from repro.lt.distributions import RobustSoliton
 from repro.lt.encoder import LTEncoder
 from repro.rng import derive
+from repro.schemes import LTNC_AGGRESSIVENESS
 
 __all__ = [
     "RecodingStats",
@@ -56,7 +57,7 @@ def collect_recoding_stats(
     k: int = 128,
     seed: int = 0,
     max_rounds: int = 200_000,
-    aggressiveness: float = 0.01,
+    aggressiveness: float = LTNC_AGGRESSIVENESS,
 ) -> RecodingStats:
     """Run one LTNC dissemination and aggregate the §III-B statistics."""
     sim = EpidemicSimulator(

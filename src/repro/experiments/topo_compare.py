@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.experiments import cliutil
 from repro.experiments.cliutil import (
     add_runner_arguments,
     print_table,
@@ -78,19 +79,7 @@ def comparison_rows(
     aggregates: dict[str, ScenarioAggregate],
 ) -> tuple[list[str], list[list[str]]]:
     """``(header, rows)`` of the sweep table, presets in run order."""
-    header = ["scenario"] + [label for _, label in _COLUMNS]
-    rows = []
-    for name, aggregate in aggregates.items():
-        summary = aggregate.metrics_summary()
-        row = [name]
-        for key, _ in _COLUMNS:
-            stats = summary[key]
-            mean = stats["mean"]
-            row.append(
-                "n/a" if mean is None else f"{mean:.2f}±{stats['ci95']:.2f}"
-            )
-        rows.append(row)
-    return header, rows
+    return cliutil.comparison_rows(aggregates, _COLUMNS)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,8 +16,9 @@ component-leader array beforehand, enabling LTNC's Algorithm-4 smart
 construction for degrees 1-2.  With feedback **off**, every session
 ships its payload.
 
-The simulator is scheme-agnostic through the node protocol in
-:mod:`repro.gossip.source` and collects the §IV-B metrics into a
+The simulator is scheme-agnostic through the
+:class:`~repro.schemes.descriptor.SchemeNode` protocol and the
+:mod:`repro.schemes` registry, and collects the §IV-B metrics into a
 :class:`~repro.gossip.metrics.DisseminationResult`.
 """
 
@@ -31,8 +32,8 @@ from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel
 from repro.gossip.metrics import DisseminationResult
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
-from repro.gossip.source import SchemeNode, make_node, make_source
 from repro.rng import derive, make_rng, spawn
+from repro.schemes import CodingScheme, SchemeNode, resolve
 
 __all__ = ["Feedback", "EpidemicSimulator", "run_dissemination"]
 
@@ -51,7 +52,9 @@ class EpidemicSimulator:
     Parameters
     ----------
     scheme:
-        ``"wc"``, ``"rlnc"`` or ``"ltnc"``.
+        A registered scheme name (``"wc"``, ``"rlnc"``, ``"ltnc"``,
+        ... — see :func:`repro.schemes.available_schemes`) or a
+        :class:`~repro.schemes.descriptor.CodingScheme` descriptor.
     n_nodes:
         Network size *N* (receivers; the source is separate).
     k:
@@ -84,7 +87,7 @@ class EpidemicSimulator:
 
     def __init__(
         self,
-        scheme: str,
+        scheme: str | CodingScheme,
         n_nodes: int,
         k: int,
         content: np.ndarray | None = None,
@@ -106,7 +109,8 @@ class EpidemicSimulator:
             )
         if n_sources < 1:
             raise SimulationError(f"n_sources must be >= 1, got {n_sources}")
-        self.scheme = scheme
+        self.coding_scheme = resolve(scheme)
+        self.scheme = self.coding_scheme.name
         self.n_nodes = n_nodes
         self.k = k
         self.feedback = feedback
@@ -117,13 +121,12 @@ class EpidemicSimulator:
         rngs = spawn(master, n_nodes + 2)
         payload_nbytes = int(content.shape[1]) if content is not None else None
         self.sources: list[SchemeNode] = [
-            make_source(
-                scheme, k, content, rng=rngs[0], **(source_kwargs or {})
+            self.coding_scheme.make_source(
+                k, content, rng=rngs[0], **(source_kwargs or {})
             )
         ]
         self.nodes: list[SchemeNode] = [
-            make_node(
-                scheme,
+            self.coding_scheme.make_node(
                 i,
                 k,
                 payload_nbytes=payload_nbytes,
@@ -146,8 +149,7 @@ class EpidemicSimulator:
         # n_sources=1 stream layout stays bit-identical to older runs.
         for j in range(1, n_sources):
             self.sources.append(
-                make_source(
-                    scheme,
+                self.coding_scheme.make_source(
                     k,
                     content,
                     rng=derive(self._node_rng_seed, "source", j),
@@ -156,7 +158,7 @@ class EpidemicSimulator:
             )
         self._payload_nbytes = payload_nbytes
         self._node_kwargs = dict(node_kwargs or {})
-        self.result = DisseminationResult(scheme, n_nodes, k)
+        self.result = DisseminationResult(self.scheme, n_nodes, k)
         self._data_received = [0] * n_nodes
 
     @property
@@ -256,8 +258,7 @@ class EpidemicSimulator:
             self.result.recode_ops.merge(recode)
         if decode is not None:
             self.result.decode_ops.merge(decode)
-        self.nodes[victim] = make_node(
-            self.scheme,
+        self.nodes[victim] = self.coding_scheme.make_node(
             victim,
             self.k,
             payload_nbytes=self._payload_nbytes,
@@ -311,7 +312,7 @@ class EpidemicSimulator:
 
 
 def run_dissemination(
-    scheme: str,
+    scheme: str | CodingScheme,
     n_nodes: int,
     k: int,
     **kwargs: object,

@@ -1,49 +1,49 @@
-"""Scheme factory: nodes and sources for WC, RLNC and LTNC (§IV-A).
+"""Deprecated scheme-factory shims over :mod:`repro.schemes`.
 
-The three schemes share one node protocol (``can_send`` /
-``make_packet`` / ``header_is_innovative`` / ``receive`` /
-``feedback_state`` / ``is_complete``), so the simulator is
-scheme-agnostic; this module is the single place that knows how to
-instantiate each.
+Scheme dispatch used to live here as an if/elif chain; it is now a
+registry of :class:`~repro.schemes.descriptor.CodingScheme`
+descriptors (see :mod:`repro.schemes`).  This module keeps the historic
+factory surface importable so external callers keep working:
+
+* :data:`SCHEMES` — the registered scheme names (now including any
+  scheme registered after the built-ins, e.g. ``sparse_rlnc``);
+* :func:`make_node` / :func:`make_source` — thin aliases for
+  ``resolve(scheme).make_node(...)`` / ``.make_source(...)`` with
+  byte-identical rng streams vs. seed (guarded by
+  ``tests/test_schemes.py``);
+* :class:`SchemeNode` — the node protocol, re-exported from its new
+  home in :mod:`repro.schemes.descriptor`.
+
+The compatibility promise covers this factory surface, not spec
+validation: serialized :class:`~repro.scenarios.spec.ScenarioSpec`
+payloads that were always semantically sound still deserialize
+unchanged, but specs relying on silently ignored configuration (e.g.
+``feedback='full'`` on a scheme without smart construction, or
+``node_kwargs`` typos) now fail loudly at spec time — a deliberate
+tightening.
+
+New code should import from :mod:`repro.schemes` directly.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
-
 import numpy as np
 
-from repro.coding.packet import EncodedPacket
-from repro.core.node import LtncNode
-from repro.errors import SimulationError
-from repro.gf2.bitvec import BitVector
-from repro.rlnc.node import RlncNode
-from repro.rng import make_rng
-from repro.wc.node import WcNode, default_fanout
+from repro.schemes import SchemeNode, available_schemes, resolve
 
 __all__ = ["SchemeNode", "SCHEMES", "make_node", "make_source"]
 
-SCHEMES = ("wc", "rlnc", "ltnc", "rndlt")
 
-
-class SchemeNode(Protocol):
-    """The node protocol every dissemination scheme implements."""
-
-    scheme: str
-    node_id: int
-    k: int
-
-    def is_complete(self) -> bool: ...
-
-    def can_send(self) -> bool: ...
-
-    def make_packet(self, receiver_state: object | None = None) -> EncodedPacket: ...
-
-    def header_is_innovative(self, vector: BitVector) -> bool: ...
-
-    def receive(self, packet: EncodedPacket) -> bool: ...
-
-    def feedback_state(self) -> object | None: ...
+def __getattr__(name: str):
+    # ``SCHEMES`` is a live view of the registry (historically the
+    # static tuple ``("wc", "rlnc", "ltnc", "rndlt")``), so legacy
+    # ``scheme in SCHEMES`` gates keep agreeing with the registry even
+    # for schemes registered after this module was imported.  Note
+    # that ``from repro.gossip import SCHEMES`` still binds a snapshot
+    # at that moment — go through the module attribute for liveness.
+    if name == "SCHEMES":
+        return available_schemes()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def make_node(
@@ -55,32 +55,20 @@ def make_node(
     rng: np.random.Generator | int | None = None,
     **kwargs: object,
 ) -> SchemeNode:
-    """Instantiate one dissemination participant.
+    """Deprecated: use ``resolve(scheme).make_node(...)``.
 
-    Extra *kwargs* flow to the scheme's node constructor (e.g.
-    ``aggressiveness`` / ``refine`` for LTNC, ``sparsity`` for RLNC,
-    ``buffer_size`` / ``fanout`` for WC).
+    Instantiate one dissemination participant.  Extra *kwargs* flow to
+    the scheme's node constructor (e.g. ``aggressiveness`` / ``refine``
+    for LTNC, ``sparsity`` for RLNC, ``buffer_size`` / ``fanout`` for
+    WC).
     """
-    rng = make_rng(rng)
-    if scheme == "ltnc":
-        return LtncNode(
-            node_id, k, payload_nbytes=payload_nbytes, rng=rng, **kwargs
-        )  # type: ignore[arg-type]
-    if scheme == "rndlt":
-        from repro.baselines.random_recode import RandomRecodeNode
-
-        return RandomRecodeNode(
-            node_id, k, payload_nbytes=payload_nbytes, rng=rng, **kwargs
-        )  # type: ignore[arg-type]
-    if scheme == "rlnc":
-        return RlncNode(
-            node_id, k, payload_nbytes=payload_nbytes, rng=rng, **kwargs
-        )  # type: ignore[arg-type]
-    if scheme == "wc":
-        kwargs.setdefault("fanout", default_fanout(n_nodes))
-        return WcNode(node_id, k, rng=rng, **kwargs)  # type: ignore[arg-type]
-    raise SimulationError(
-        f"unknown scheme {scheme!r}; expected one of {SCHEMES}"
+    return resolve(scheme).make_node(
+        node_id,
+        k,
+        payload_nbytes=payload_nbytes,
+        n_nodes=n_nodes,
+        rng=rng,
+        **kwargs,
     )
 
 
@@ -91,32 +79,8 @@ def make_source(
     rng: np.random.Generator | int | None = None,
     **kwargs: object,
 ) -> SchemeNode:
-    """The content source: a node pre-loaded with all *k* natives.
+    """Deprecated: use ``resolve(scheme).make_source(...)``.
 
-    For LTNC the source's recoding degenerates to classic LT encoding
-    (plus refinement); for RLNC it emits sparse random combinations of
-    natives; for WC it forwards raw natives round-robin by send count.
+    The content source: a node pre-loaded with all *k* natives.
     """
-    rng = make_rng(rng)
-    if scheme == "ltnc":
-        return LtncNode.as_source(k, content, rng=rng, **kwargs)  # type: ignore[arg-type]
-    if scheme == "rndlt":
-        # The source holds all natives; even the structure-destroying
-        # baseline gets a proper LT-encoded feed from it (its recoding
-        # from k decoded natives degenerates to uniform combinations,
-        # which is exactly the baseline's point).
-        from repro.baselines.random_recode import RandomRecodeNode
-
-        m = int(content.shape[1]) if content is not None else None
-        node = RandomRecodeNode(-1, k, payload_nbytes=m, rng=rng, **kwargs)  # type: ignore[arg-type]
-        for i in range(k):
-            payload = content[i] if content is not None else None
-            node.receive(EncodedPacket.native(k, i, payload))
-        return node
-    if scheme == "rlnc":
-        return RlncNode.as_source(k, content, rng=rng, **kwargs)  # type: ignore[arg-type]
-    if scheme == "wc":
-        return WcNode.as_source(k, content, rng=rng, **kwargs)  # type: ignore[arg-type]
-    raise SimulationError(
-        f"unknown scheme {scheme!r}; expected one of {SCHEMES}"
-    )
+    return resolve(scheme).make_source(k, content, rng=rng, **kwargs)

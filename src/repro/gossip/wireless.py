@@ -38,8 +38,8 @@ import numpy as np
 from repro.core.components import ConnectedComponents
 from repro.core.feedback import FeedbackState
 from repro.errors import SimulationError
-from repro.gossip.source import SchemeNode, make_node, make_source
 from repro.rng import make_rng, spawn
+from repro.schemes import CodingScheme, SchemeNode, resolve
 from repro.topology.generators import random_geometric
 from repro.topology.graph import Graph
 
@@ -173,7 +173,7 @@ class WirelessSimulator:
 
     def __init__(
         self,
-        scheme: str,
+        scheme: str | CodingScheme,
         topology: WirelessTopology,
         k: int,
         snoop: bool = False,
@@ -189,10 +189,11 @@ class WirelessSimulator:
         n = topology.n_nodes
         master = make_rng(seed)
         rngs = spawn(master, n + 2)
-        self.source: SchemeNode = make_source(scheme, k, rng=rngs[0])
+        coding_scheme = resolve(scheme)
+        self.coding_scheme = coding_scheme
+        self.source: SchemeNode = coding_scheme.make_source(k, rng=rngs[0])
         self.nodes: list[SchemeNode] = [
-            make_node(
-                scheme,
+            coding_scheme.make_node(
                 i,
                 k,
                 n_nodes=n,
@@ -210,7 +211,7 @@ class WirelessSimulator:
             {j: _Snoop(k) for j in topology.neighbors(i)} for i in range(n)
         ]
         self._smart_cursor = [0] * n
-        self.result = WirelessResult(scheme, n, k)
+        self.result = WirelessResult(coding_scheme.name, n, k)
 
     # ------------------------------------------------------------------
     def _deliver(

@@ -1,5 +1,16 @@
 """Random linear network coding baseline (sparse codes + Gauss)."""
 
 from repro.rlnc.node import RlncNode, default_sparsity
+from repro.rlnc.sparse import (
+    DEFAULT_DENSITY,
+    SparseRlncNode,
+    sparsity_for_density,
+)
 
-__all__ = ["RlncNode", "default_sparsity"]
+__all__ = [
+    "RlncNode",
+    "default_sparsity",
+    "DEFAULT_DENSITY",
+    "SparseRlncNode",
+    "sparsity_for_density",
+]

@@ -8,7 +8,8 @@ JSON-serialisable workload description that compiles into a configured
 ``sensor_grid``, ``smallworld_gossip``, ``scalefree_p2p`` and
 ``powerline_multihop`` riding :mod:`repro.topology`, plus the
 multi-content ``zipf_catalogue``, ``edge_cache_catalogue`` and
-``striped_vod`` riding :mod:`repro.content`);
+``striped_vod`` riding :mod:`repro.content`, plus ``sparse_rlnc``
+riding the :mod:`repro.schemes` registry);
 :mod:`~repro.scenarios.runner` fans scenario × seed grids out across
 worker processes; :mod:`~repro.scenarios.aggregate` folds the per-trial
 results into mean/CI summaries with deterministic JSON export.
@@ -34,6 +35,7 @@ from repro.scenarios.presets import (
     scalefree_p2p,
     sensor_grid,
     smallworld_gossip,
+    sparse_rlnc,
     striped_vod,
     zipf_catalogue,
 )
@@ -64,6 +66,7 @@ __all__ = [
     "scalefree_p2p",
     "sensor_grid",
     "smallworld_gossip",
+    "sparse_rlnc",
     "striped_vod",
     "zipf_catalogue",
     "CatalogueSpec",

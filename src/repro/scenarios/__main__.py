@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro.scenarios --list
+    python -m repro.scenarios --schemes
     python -m repro.scenarios --scenario churn --trials 8 --workers 4 --seed 7
     python -m repro.scenarios --scenario all --trials 4 --workers 8 \
         --scale quick --out benchmarks/out/scenarios.json
@@ -22,6 +23,7 @@ import sys
 from repro.experiments.scale import PROFILES, current_profile
 from repro.scenarios.presets import PRESETS, get_preset, preset_names
 from repro.scenarios.runner import TrialRunner
+from repro.schemes import available_schemes, get_scheme
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list scenario presets and exit"
     )
+    parser.add_argument(
+        "--schemes",
+        action="store_true",
+        help="list registered coding schemes (capabilities, knobs) and exit",
+    )
     return parser
 
 
@@ -68,6 +75,15 @@ def main(argv: list[str] | None = None) -> int:
             lines = (factory.__doc__ or "").strip().splitlines()
             summary = lines[0] if lines else ""
             print(f"{name:20s} {summary}" if summary else name)
+        return 0
+    if args.schemes:
+        for name in available_schemes():
+            scheme = get_scheme(name)
+            caps = ", ".join(scheme.capabilities()) or "-"
+            knobs = ", ".join(scheme.knob_names) or "-"
+            print(f"{name:12s} {scheme.summary}")
+            print(f"{'':12s} capabilities: {caps}")
+            print(f"{'':12s} knobs: {knobs}")
         return 0
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")

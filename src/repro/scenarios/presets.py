@@ -54,6 +54,14 @@ Three more lift the stack to catalogue dissemination via
     striped into generations (Tsai et al., multiple-configuration LT),
     fed round-robin by the origin.
 
+One more rides the :mod:`repro.schemes` registry:
+
+``sparse_rlnc``
+    The baseline workload under the ``sparse_rlnc`` scheme —
+    density-limited RLNC plugged in through a scheme descriptor alone
+    (the registry's "add a scheme without touching the simulator"
+    proof; see README "Adding a coding scheme").
+
 Add a scenario by writing a ``def my_scenario(profile) -> ScenarioSpec``
 factory and registering it in :data:`PRESETS`; everything downstream
 (CLI, runner, benches, golden tests) picks it up by name.
@@ -67,6 +75,7 @@ from repro.content.spec import CatalogueSpec
 from repro.errors import SimulationError
 from repro.scenarios.spec import ScenarioSpec
 from repro.gossip.channel import ChurnPhase
+from repro.schemes import LTNC_AGGRESSIVENESS
 from repro.topology.spec import TopologySpec
 
 __all__ = [
@@ -84,12 +93,15 @@ __all__ = [
     "zipf_catalogue",
     "edge_cache_catalogue",
     "striped_vod",
+    "sparse_rlnc",
     "get_preset",
     "preset_names",
 ]
 
 #: §IV-A: aggressiveness minimising completion time, "typically 1 %".
-_LTNC_NODE_KWARGS: dict[str, object] = {"aggressiveness": 0.01}
+_LTNC_NODE_KWARGS: dict[str, object] = {
+    "aggressiveness": LTNC_AGGRESSIVENESS
+}
 
 
 def _profile(profile=None):
@@ -362,6 +374,28 @@ def striped_vod(profile=None) -> ScenarioSpec:
     )
 
 
+def sparse_rlnc(profile=None) -> ScenarioSpec:
+    """The baseline workload under density-limited RLNC.
+
+    Identical network, code length and channel to ``baseline``, but
+    the scheme is ``sparse_rlnc``: each recoded combination touches at
+    most ``density * k`` packets instead of RLNC's ``ln k + 20``.  The
+    scheme entered the stack through a registry descriptor alone
+    (:mod:`repro.schemes.builtin`) — no simulator or spec module knows
+    it exists — which is exactly what this preset demonstrates.
+    """
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="sparse_rlnc",
+        scheme="sparse_rlnc",
+        n_nodes=p.n_nodes,
+        k=p.k_default,
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        node_kwargs={"density": 0.1},
+    )
+
+
 PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "baseline": baseline,
     "multihop_lossy": multihop_lossy,
@@ -374,6 +408,7 @@ PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "zipf_catalogue": zipf_catalogue,
     "edge_cache_catalogue": edge_cache_catalogue,
     "striped_vod": striped_vod,
+    "sparse_rlnc": sparse_rlnc,
 }
 
 #: The graph-structured subset (the ``topo_compare`` sweep's default).

@@ -26,8 +26,8 @@ from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
 from repro.gossip.peer_sampling import PeerSampler, ViewSampler
 from repro.gossip.simulator import EpidemicSimulator, Feedback
-from repro.gossip.source import SCHEMES
 from repro.rng import derive
+from repro.schemes import resolve
 from repro.topology.spec import TopologySpec
 
 __all__ = ["ScenarioSpec"]
@@ -76,13 +76,22 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise SimulationError("scenario name must be non-empty")
-        if self.scheme not in SCHEMES:
-            raise SimulationError(
-                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
-            )
+        # Friendly error on unknown names; descriptors normalise to
+        # their name so the spec stays a plain-JSON value.
+        scheme = resolve(self.scheme)
+        object.__setattr__(self, "scheme", scheme.name)
         if self.feedback not in _FEEDBACKS:
             raise SimulationError(
                 f"feedback must be one of {_FEEDBACKS}, got {self.feedback!r}"
+            )
+        if (
+            self.feedback == Feedback.FULL.value
+            and not scheme.supports_full_feedback
+        ):
+            raise SimulationError(
+                "feedback 'full' requires a scheme with smart-construction "
+                f"support (supports_full_feedback), and {self.scheme!r} "
+                "has none"
             )
         if self.sampler not in _SAMPLERS:
             raise SimulationError(
@@ -154,8 +163,19 @@ class ScenarioSpec:
                 raise SimulationError(
                     "cache_at_root requires a topology field"
                 )
-            # Resolve early so bad pins/schemes fail at spec time.
-            self.content.resolve(self.k, self.scheme)
+        # Spec-time knob validation: node_kwargs must satisfy the knob
+        # schema of every scheme that will consume them — the
+        # scenario's own scheme, or each content's scheme in a
+        # catalogue workload (resolving the catalogue here also makes
+        # bad pins/schemes fail at spec time, not mid-trial).
+        where = f"scenario {self.name!r} node_kwargs"
+        if self.content is not None:
+            for content in self.content.resolve(self.k, self.scheme):
+                resolve(content.scheme).validate_node_kwargs(
+                    self.node_kwargs, where=where
+                )
+        else:
+            scheme.validate_node_kwargs(self.node_kwargs, where=where)
 
     # -- compilation ---------------------------------------------------
     def channel(self) -> ChannelModel:

@@ -1,0 +1,103 @@
+"""The coding-scheme registry: one source of truth for dispatch.
+
+Every place that used to compare scheme strings (``if scheme ==
+"ltnc": ...``) or re-validate against a copied ``SCHEMES`` tuple now
+goes through :func:`resolve`.  Registering a descriptor makes a scheme
+available *everywhere* at once: :class:`~repro.gossip.simulator.
+EpidemicSimulator` (including its churn-replacement path), the
+catalogue simulator, :class:`~repro.scenarios.spec.ScenarioSpec` /
+:class:`~repro.content.spec.ContentSpec` validation, the preset
+catalogue, the registry sweep driver and the CLI ``--schemes``
+listing.
+
+Adding a scheme is a one-file operation::
+
+    from repro.schemes import CodingScheme, Knob, register_scheme
+
+    register_scheme(CodingScheme(
+        name="my_scheme",
+        summary="what it does",
+        node_factory=lambda node_id, k, payload_nbytes, n_nodes, rng,
+            **kw: MyNode(node_id, k, rng=rng, **kw),
+        source_factory=lambda k, content, rng, **kw:
+            MyNode.as_source(k, content, rng=rng, **kw),
+        knobs=(Knob("my_knob", float, default=0.5, minimum=0.0),),
+    ))
+
+The registry is per-process module state.  Register schemes at import
+time, in a module that worker processes also import (the built-ins
+self-register when :mod:`repro.schemes` is imported): on platforms
+whose multiprocessing start method is ``spawn`` rather than ``fork``,
+workers rebuild the registry by re-importing, and a scheme registered
+only dynamically in the parent would be unknown to them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.schemes.descriptor import CodingScheme
+
+__all__ = [
+    "register_scheme",
+    "unregister_scheme",
+    "get_scheme",
+    "resolve",
+    "available_schemes",
+]
+
+_REGISTRY: dict[str, CodingScheme] = {}
+
+
+def register_scheme(
+    scheme: CodingScheme, *, replace: bool = False
+) -> CodingScheme:
+    """Add a descriptor to the registry; returns it for chaining.
+
+    Re-registering an existing name is an error unless ``replace=True``
+    (plugins overriding a built-in must say so explicitly).
+    """
+    if not isinstance(scheme, CodingScheme):
+        raise SimulationError(
+            f"register_scheme expects a CodingScheme, got {scheme!r}"
+        )
+    if scheme.name in _REGISTRY and not replace:
+        raise SimulationError(
+            f"scheme {scheme.name!r} is already registered; "
+            "pass replace=True to override it"
+        )
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a scheme (test hygiene / plugin teardown); missing is OK."""
+    _REGISTRY.pop(name, None)
+
+
+def available_schemes() -> tuple[str, ...]:
+    """Registered scheme names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_scheme(name: str) -> CodingScheme:
+    """The descriptor registered under *name*.
+
+    Unknown names raise a :class:`SimulationError` listing what *is*
+    registered — the single copy of the ``unknown scheme`` message
+    that used to be duplicated across gossip, scenario and content
+    validation.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheme {name!r}; expected one of {available_schemes()}"
+        ) from None
+
+
+def resolve(scheme: str | CodingScheme) -> CodingScheme:
+    """Normalise a scheme argument: descriptors pass through, names
+    look up via :func:`get_scheme` (with its friendly error)."""
+    if isinstance(scheme, CodingScheme):
+        return scheme
+    return get_scheme(scheme)

@@ -9,11 +9,12 @@ contract.
 
 import pytest
 
-from repro.experiments import content_compare, topo_compare
+from repro.experiments import content_compare, scheme_compare, topo_compare
 
 DRIVERS = {
     "topo_compare": topo_compare.main,
     "content_compare": content_compare.main,
+    "scheme_compare": scheme_compare.main,
 }
 
 BAD_ARGS = [
@@ -45,4 +46,13 @@ def test_sweep_cli_rejects_bad_ltnc_scale_env(capsys, driver, monkeypatch):
     assert excinfo.value.code == 2
     err = capsys.readouterr().err
     assert "LTNC_SCALE" in err
+    assert "Traceback" not in err
+
+
+def test_scheme_compare_rejects_unknown_scheme(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        scheme_compare.main(["--schemes", "nope"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown scheme 'nope'" in err
     assert "Traceback" not in err

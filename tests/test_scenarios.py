@@ -126,6 +126,7 @@ def test_preset_catalogue():
         "scalefree_p2p",
         "sensor_grid",
         "smallworld_gossip",
+        "sparse_rlnc",
         "striped_vod",
         "zipf_catalogue",
     )
@@ -326,6 +327,18 @@ def test_cli_list_exits_zero(capsys):
     out = capsys.readouterr().out
     for name in preset_names():
         assert name in out
+
+
+def test_cli_schemes_lists_registry(capsys):
+    from repro.scenarios.__main__ import main
+    from repro.schemes import available_schemes
+
+    assert main(["--schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in available_schemes():
+        assert name in out
+    assert "capabilities:" in out
+    assert "knobs:" in out
 
 
 @pytest.mark.parametrize(

@@ -31,6 +31,7 @@ GOLDEN = {
     "zipf_catalogue": {"rounds": 156.00, "average_completion_round": 80.40, "overhead": 0.9175},
     "edge_cache_catalogue": {"rounds": 169.00, "average_completion_round": 96.08, "overhead": 0.9948},
     "striped_vod": {"rounds": 286.67, "average_completion_round": 177.65, "overhead": 1.0616},
+    "sparse_rlnc": {"rounds": 73.00, "average_completion_round": 45.97, "overhead": 0.0},
 }
 
 
@@ -93,6 +94,14 @@ def test_smallworld_shortcuts_beat_the_feeder_line(aggregates):
     smallworld = aggregates["smallworld_gossip"].metrics_summary()
     line = aggregates["powerline_multihop"].metrics_summary()
     assert smallworld["rounds"]["mean"] < line["rounds"]["mean"]
+
+
+def test_sparse_rlnc_exact_check_means_zero_overhead(aggregates):
+    # The density-limited scheme inherits RLNC's exact innovation
+    # check, so under binary feedback its overhead is identically zero
+    # (§IV-B) — an exact structural property, not a tolerance.
+    summary = aggregates["sparse_rlnc"].metrics_summary()
+    assert summary["overhead"]["max"] == 0.0
 
 
 def test_catalogue_presets_complete_every_content(aggregates):

@@ -23,6 +23,7 @@ from repro.scenarios import (
     TrialRunner,
     get_preset,
 )
+from repro.schemes import get_scheme
 from repro.topology.spec import TopologySpec
 from repro.experiments.scale import PROFILES
 
@@ -97,6 +98,43 @@ def catalogue_specs(draw):
     )
 
 
+def _knob_values(knob):
+    """A strategy of values satisfying one scheme knob's schema."""
+    if knob.kind is bool:
+        return st.booleans()
+    if knob.kind is int:
+        lo = int(knob.minimum) if knob.minimum is not None else 1
+        if knob.exclusive_min:
+            lo += 1
+        hi = int(knob.maximum) if knob.maximum is not None else max(lo, 64)
+        return st.integers(min_value=lo, max_value=hi)
+    lo = knob.minimum if knob.minimum is not None else 0.0
+    hi = knob.maximum if knob.maximum is not None else max(lo, 1.0)
+    return st.floats(
+        min_value=lo,
+        max_value=hi,
+        exclude_min=knob.exclusive_min,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+@st.composite
+def node_kwargs_for(draw, scheme):
+    """Spec-valid node_kwargs drawn from the scheme's knob schema."""
+    knobs = get_scheme(scheme).knobs
+    if not knobs:
+        return {}
+    picks = draw(
+        st.lists(
+            st.sampled_from(knobs),
+            unique_by=lambda knob: knob.name,
+            max_size=3,
+        )
+    )
+    return {knob.name: draw(_knob_values(knob)) for knob in picks}
+
+
 @st.composite
 def scenario_specs(draw):
     n_nodes = draw(st.integers(min_value=2, max_value=64))
@@ -115,10 +153,13 @@ def scenario_specs(draw):
             st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"])
         )
     else:
-        feedback = draw(st.sampled_from(["none", "binary", "full"]))
+        scheme = draw(st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"]))
+        feedbacks = ["none", "binary"]
+        if get_scheme(scheme).supports_full_feedback:
+            feedbacks.append("full")
+        feedback = draw(st.sampled_from(feedbacks))
         warm_fraction = draw(_probability)
         warm_packets = draw(st.integers(min_value=0, max_value=128))
-        scheme = draw(st.sampled_from(["wc", "rlnc", "ltnc", "rndlt"]))
     return ScenarioSpec(
         name=draw(_names),
         scheme=scheme,
@@ -142,13 +183,7 @@ def scenario_specs(draw):
         renewal_period=draw(st.integers(min_value=1, max_value=16)),
         topology=draw(st.one_of(st.none(), topology_specs(n_nodes))),
         content=content,
-        node_kwargs=draw(
-            st.dictionaries(
-                _names,
-                st.one_of(st.integers(-100, 100), _probability, st.booleans()),
-                max_size=3,
-            )
-        ),
+        node_kwargs=draw(node_kwargs_for(scheme)),
     )
 
 
