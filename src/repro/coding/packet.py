@@ -109,8 +109,8 @@ class EncodedPacket:
         return self.vector.indices()
 
     def support(self) -> set[int]:
-        """Participating native indices as a set."""
-        return {int(i) for i in self.vector.indices()}
+        """Participating native indices as a set (plain Python ints)."""
+        return set(self.vector.indices_list())
 
     def is_native(self) -> bool:
         """True iff this is a degree-1 (native) packet."""

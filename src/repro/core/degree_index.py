@@ -28,7 +28,13 @@ class DegreeIndex:
     Items of degree 1 are native indices (decoded packets); items of
     degree >= 2 are Tanner-graph pids.  The two never mix because a
     stored packet's degree is always >= 2 (graph invariant).
+
+    The index sits on the recoding hot path (every Algorithm-1 build
+    walks it, every Tanner event updates it), so the class is slotted
+    and the update methods touch each dict exactly once.
     """
+
+    __slots__ = ("k", "counter", "_buckets", "_degree_of", "_decoded")
 
     def __init__(self, k: int, counter: OpCounter | None = None) -> None:
         if k <= 0:
@@ -54,15 +60,17 @@ class DegreeIndex:
 
     def update_packet(self, pid: int, degree: int) -> None:
         """Move a stored packet to its new (reduced) degree."""
-        old = self._degree_of[pid]
+        degree_of = self._degree_of
+        old = degree_of[pid]
         if old == degree:
             return
-        bucket = self._buckets[old]
+        buckets = self._buckets
+        bucket = buckets[old]
         bucket.discard(pid)
         if not bucket:
-            del self._buckets[old]
-        self._degree_of[pid] = degree
-        self._buckets.setdefault(degree, set()).add(pid)
+            del buckets[old]
+        degree_of[pid] = degree
+        buckets.setdefault(degree, set()).add(pid)
         self.counter.add("table_op", 2)
 
     def remove_packet(self, pid: int) -> None:

@@ -300,10 +300,9 @@ class LtncNode:
         Gaussian reduction LTNC avoids.
         """
         self.decode_counter.add("table_op")
+        is_decoded = self.decoder.is_decoded
         reduced = [
-            int(i)
-            for i in vector.indices()
-            if not self.decoder.is_decoded(int(i))
+            i for i in vector.indices_list() if not is_decoded(i)
         ]
         if len(reduced) > 3:
             return True

@@ -71,18 +71,21 @@ def _find_replacement(
     if freq_x <= occurrences.min_frequency():
         return None, 0  # nothing can be strictly less frequent
     leader = components.leader(x)
+    cc = components.cc
     examined = 0
+    # One batched "cc_lookup" charge per outcome keeps counter totals
+    # identical to the per-candidate accounting while dropping ~half
+    # the time this inner loop used to spend in OpCounter.add.
     for _, bucket in occurrences.buckets_below(freq_x):
         for candidate in bucket:
-            counter.add("cc_lookup")
             examined += 1
-            if (
-                int(components.cc[candidate]) == leader
-                and candidate not in support
-            ):
+            if cc[candidate] == leader and candidate not in support:
+                counter.add("cc_lookup", examined)
                 return candidate, examined
             if scan_limit is not None and examined >= scan_limit:
+                counter.add("cc_lookup", examined)
                 return None, examined
+    counter.add("cc_lookup", examined)
     return None, examined
 
 

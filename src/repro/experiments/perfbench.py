@@ -1,0 +1,397 @@
+"""Performance benchmark harness: the repo's perf trajectory tracker.
+
+Every figure and scenario sweep in this reproduction bottoms out in the
+GF(2) kernel (``repro.gf2``) and the per-round simulator loop, so this
+module times exactly those layers and writes a machine-readable report
+(``BENCH_ltnc.json`` at the repo root, checked in) that future PRs can
+diff against:
+
+* **kernel microbenches** — :class:`~repro.gf2.matrix.IncrementalRref`
+  insert/reduce throughput, raw :class:`~repro.gf2.bitvec.BitVector`
+  ops, and Gauss/BP decode throughput at k in {32, 64, 128, 256};
+* **baseline comparison** — the same insert/reduce bench on the
+  pre-optimization numpy kernel preserved in ``repro.gf2.reference``,
+  so the recorded speedup is measured on the *same machine* in the
+  *same run* rather than read off a stale note;
+* **end-to-end rounds/sec** — one seeded
+  :class:`~repro.gossip.simulator.EpidemicSimulator` run per built-in
+  scheme.
+
+All workloads are seed-pinned, so the *work* is identical run to run
+and only wall-clock throughput varies with the host.  Run it with::
+
+    PYTHONPATH=src python -m repro.experiments.perfbench           # full
+    PYTHONPATH=src python -m repro.experiments.perfbench --quick   # CI smoke
+
+CI runs the quick profile, validates the schema with
+:func:`validate_bench` and uploads the JSON as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gf2.bitvec import BitVector
+from repro.gf2.matrix import IncrementalRref
+from repro.gf2.reference import ReferenceBitVector, ReferenceRref
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_SEED",
+    "KERNEL_KS",
+    "bench_rref_insert_reduce",
+    "bench_bitvector_ops",
+    "bench_decode",
+    "bench_end_to_end",
+    "run_perfbench",
+    "validate_bench",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+DEFAULT_SEED = 2026
+KERNEL_KS: tuple[int, ...] = (32, 64, 128, 256)
+DEFAULT_OUT = "BENCH_ltnc.json"
+
+#: Workload sizes per profile: (rref vectors, bitvec ops, decode
+#: batches, end-to-end n_nodes, end-to-end k).
+_PROFILES = {
+    "full": {
+        "rref_vectors": 2000,
+        "baseline_vectors": 600,
+        "bitvec_ops": 100_000,
+        "decode_batches": 20,
+        "e2e_nodes": 32,
+        "e2e_k": 128,
+    },
+    "quick": {
+        "rref_vectors": 300,
+        "baseline_vectors": 120,
+        "bitvec_ops": 10_000,
+        "decode_batches": 3,
+        "e2e_nodes": 10,
+        "e2e_k": 24,
+    },
+}
+
+
+def _timed(fn: Callable[[], int]) -> tuple[int, float]:
+    """Run *fn* once; return (ops it reports, wall seconds)."""
+    t0 = time.perf_counter()
+    n_ops = fn()
+    return n_ops, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenches
+# ----------------------------------------------------------------------
+def bench_rref_insert_reduce(
+    k: int, n_vectors: int, seed: int, kernel: str = "fast"
+) -> dict[str, float]:
+    """Insert/reduce throughput of the incremental Gauss basis.
+
+    Each step runs one innovation check (a full :meth:`reduce`) plus
+    one :meth:`insert`; the basis is restarted whenever it reaches full
+    rank, so steady-state work per op is representative of a node
+    mid-dissemination.  ``kernel="reference"`` times the pre-PR numpy
+    implementation on the identical vector stream.
+    """
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n_vectors, k)) < 0.3
+    if kernel == "fast":
+        vectors: list = [BitVector.from_bits(row) for row in dense]
+        make = lambda: IncrementalRref(k)  # noqa: E731
+    elif kernel == "reference":
+        vectors = [
+            ReferenceBitVector.from_indices(k, np.flatnonzero(row))
+            for row in dense
+        ]
+        make = lambda: ReferenceRref(k)  # noqa: E731
+    else:  # pragma: no cover - caller bug
+        raise ValueError(f"unknown kernel {kernel!r}")
+
+    def work() -> int:
+        rref = make()
+        for v in vectors:
+            rref.is_innovative(v)
+            rref.insert(v)
+            if rref.is_full_rank():
+                rref = make()
+        return n_vectors
+
+    n_ops, seconds = _timed(work)
+    return {
+        "k": k,
+        "n_ops": n_ops,
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(n_ops / seconds, 1),
+    }
+
+
+def bench_bitvector_ops(k: int, n_ops: int, seed: int) -> dict[str, float]:
+    """Raw vector-op rates: ixor / first_index / indices / weight."""
+    rng = np.random.default_rng(seed)
+    a = BitVector.random(k, rng, density=0.4)
+    b = BitVector.random(k, rng, density=0.4)
+    out: dict[str, float] = {"k": k, "n_ops": n_ops}
+
+    def rate(fn: Callable[[], object]) -> float:
+        t0 = time.perf_counter()
+        for _ in range(n_ops):
+            fn()
+        return round(n_ops / (time.perf_counter() - t0), 1)
+
+    out["ixor_per_sec"] = rate(lambda: a.ixor(b))
+    out["first_index_per_sec"] = rate(a.first_index)
+    out["weight_per_sec"] = rate(a.weight)
+    out["indices_per_sec"] = rate(a.indices_list)
+    return out
+
+
+def bench_decode(k: int, n_batches: int, seed: int) -> dict[str, float]:
+    """Decode throughput: Gauss (payload RREF) and LT belief propagation.
+
+    Gauss: feed random dense vectors with payloads until full rank,
+    then :meth:`decode`.  BP: feed Robust-Soliton LT packets until the
+    peeling decoder completes.  Both report packets consumed per
+    second, the unit the dissemination loop cares about.
+    """
+    from repro.lt.decoder import BeliefPropagationDecoder
+    from repro.lt.distributions import RobustSoliton
+    from repro.lt.encoder import LTEncoder
+
+    m = 32
+    rng = np.random.default_rng(seed)
+
+    def gauss() -> int:
+        fed = 0
+        for _ in range(n_batches):
+            rref = IncrementalRref(k, payload_nbytes=m)
+            while not rref.is_full_rank():
+                bits = rng.random(k) < 0.5
+                payload = rng.integers(0, 256, size=m, dtype=np.uint8)
+                rref.insert(BitVector.from_bits(bits), payload)
+                fed += 1
+            rref.decode()
+        return fed
+
+    def bp() -> int:
+        fed = 0
+        for batch in range(n_batches):
+            encoder = LTEncoder(
+                k, RobustSoliton(k), rng=np.random.default_rng(seed + batch)
+            )
+            decoder = BeliefPropagationDecoder(k)
+            while not decoder.is_complete():
+                decoder.receive(encoder.next_packet())
+                fed += 1
+        return fed
+
+    g_ops, g_secs = _timed(gauss)
+    b_ops, b_secs = _timed(bp)
+    return {
+        "k": k,
+        "gauss_packets": g_ops,
+        "gauss_packets_per_sec": round(g_ops / g_secs, 1),
+        "bp_packets": b_ops,
+        "bp_packets_per_sec": round(b_ops / b_secs, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end rounds/sec
+# ----------------------------------------------------------------------
+def bench_end_to_end(
+    scheme: str, n_nodes: int, k: int, seed: int
+) -> dict[str, float]:
+    """One seeded epidemic dissemination; report simulated rounds/sec."""
+    from repro.gossip.simulator import EpidemicSimulator
+
+    sim = EpidemicSimulator(
+        scheme, n_nodes=n_nodes, k=k, seed=seed, max_rounds=200_000
+    )
+    t0 = time.perf_counter()
+    result = sim.run()
+    seconds = time.perf_counter() - t0
+    return {
+        "n_nodes": n_nodes,
+        "k": k,
+        "rounds": result.rounds,
+        "sessions": result.sessions,
+        "all_complete": result.all_complete,
+        "seconds": round(seconds, 6),
+        "rounds_per_sec": round(result.rounds / seconds, 1),
+        "sessions_per_sec": round(result.sessions / seconds, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_perfbench(
+    profile: str = "full",
+    seed: int = DEFAULT_SEED,
+    ks: Sequence[int] = KERNEL_KS,
+    schemes: Sequence[str] | None = None,
+    include_baseline: bool = True,
+) -> dict[str, object]:
+    """Run the whole suite; return the JSON-able report."""
+    if profile not in _PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; expected one of {sorted(_PROFILES)}"
+        )
+    sizes = _PROFILES[profile]
+    if schemes is None:
+        from repro.schemes import available_schemes
+
+        schemes = available_schemes()
+
+    rref: dict[str, dict[str, float]] = {}
+    bitvec: dict[str, dict[str, float]] = {}
+    decode: dict[str, dict[str, float]] = {}
+    for k in ks:
+        entry = bench_rref_insert_reduce(
+            k, sizes["rref_vectors"], seed, kernel="fast"
+        )
+        if include_baseline:
+            base = bench_rref_insert_reduce(
+                k, sizes["baseline_vectors"], seed, kernel="reference"
+            )
+            entry["baseline_ops_per_sec"] = base["ops_per_sec"]
+            entry["speedup_vs_baseline"] = round(
+                entry["ops_per_sec"] / base["ops_per_sec"], 2
+            )
+        rref[f"k={k}"] = entry
+        bitvec[f"k={k}"] = bench_bitvector_ops(k, sizes["bitvec_ops"], seed)
+        decode[f"k={k}"] = bench_decode(k, sizes["decode_batches"], seed)
+
+    end_to_end = {
+        scheme: bench_end_to_end(
+            scheme, sizes["e2e_nodes"], sizes["e2e_k"], seed
+        )
+        for scheme in schemes
+    }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "ltnc-perfbench",
+        "profile": profile,
+        "seed": seed,
+        "kernel": "python-int",
+        "baseline_kernel": (
+            "numpy-words (repro.gf2.reference)" if include_baseline else None
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "microbench": {
+            "rref_insert_reduce": rref,
+            "bitvector": bitvec,
+            "decode": decode,
+        },
+        "end_to_end": end_to_end,
+    }
+
+
+def validate_bench(data: dict[str, object]) -> None:
+    """Raise ``ValueError`` unless *data* is a complete perfbench report.
+
+    Used by the CI smoke step and the test suite, so a refactor that
+    silently drops a microbench (or records zero throughput) fails the
+    build rather than thinning the perf trajectory.
+    """
+    errors: list[str] = []
+    if data.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version != {SCHEMA_VERSION}")
+    if data.get("suite") != "ltnc-perfbench":
+        errors.append("suite != 'ltnc-perfbench'")
+    micro = data.get("microbench")
+    if not isinstance(micro, dict):
+        errors.append("microbench section missing")
+        micro = {}
+    for section, rate_key in (
+        ("rref_insert_reduce", "ops_per_sec"),
+        ("bitvector", "ixor_per_sec"),
+        ("decode", "gauss_packets_per_sec"),
+    ):
+        table = micro.get(section)
+        if not isinstance(table, dict) or not table:
+            errors.append(f"microbench.{section} missing or empty")
+            continue
+        for label, entry in table.items():
+            rate = entry.get(rate_key, 0) if isinstance(entry, dict) else 0
+            if not rate or rate <= 0:
+                errors.append(
+                    f"microbench.{section}[{label}].{rate_key} not positive"
+                )
+    e2e = data.get("end_to_end")
+    if not isinstance(e2e, dict) or not e2e:
+        errors.append("end_to_end section missing or empty")
+    else:
+        for scheme, entry in e2e.items():
+            if not isinstance(entry, dict) or entry.get("rounds_per_sec", 0) <= 0:
+                errors.append(f"end_to_end[{scheme}].rounds_per_sec not positive")
+            elif not entry.get("all_complete"):
+                errors.append(f"end_to_end[{scheme}] did not complete")
+    if errors:
+        raise ValueError("invalid perfbench report: " + "; ".join(errors))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.perfbench",
+        description="Time the GF(2) kernel and simulator hot loops and "
+        "write a BENCH_ltnc.json perf report.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-friendly workloads (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="workload seed"
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip timing the reference numpy kernel",
+    )
+    args = parser.parse_args(argv)
+    report = run_perfbench(
+        profile="quick" if args.quick else "full",
+        seed=args.seed,
+        include_baseline=not args.no_baseline,
+    )
+    validate_bench(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    rref64 = report["microbench"]["rref_insert_reduce"].get("k=64", {})
+    line = f"wrote {args.out}: rref k=64 {rref64.get('ops_per_sec', '?')} ops/s"
+    if "speedup_vs_baseline" in rref64:
+        line += (
+            f" ({rref64['speedup_vs_baseline']}x vs numpy baseline "
+            f"{rref64['baseline_ops_per_sec']} ops/s)"
+        )
+    print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

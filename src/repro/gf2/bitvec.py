@@ -2,11 +2,20 @@
 
 Code vectors in LTNC are bitmaps of length *k* shipped in packet
 headers (§IV-A of the paper).  :class:`BitVector` stores them packed
-into ``numpy.uint64`` words so that XOR (the only arithmetic GF(2)
-needs) and popcount are single vectorized operations.
+into a single Python arbitrary-precision integer: at the code lengths
+the benches sweep (k <= a few thousand) CPython's int XOR,
+``bit_count()`` and ``(x & -x).bit_length()`` beat numpy's per-call
+dispatch on 1-4 word buffers by an order of magnitude, which is where
+the Gauss-reduction and recoding hot loops spend their time (the
+``repro.gf2.reference`` module keeps the original numpy-words kernel
+as a differential-testing oracle and perf baseline).
 
-Bit *i* of the vector lives in word ``i >> 6`` at bit position
-``i & 63`` (little-endian bit order within the word).
+The bit layout is unchanged: bit *i* of the vector is bit ``i & 63`` of
+64-bit word ``i >> 6`` (little-endian within the word), and
+:meth:`key` serializes those words little-endian — byte-identical to
+the numpy era, so hashes, dict keys and any persisted fingerprints are
+stable across the kernel swap.  The words array survives as the
+:attr:`words` conversion property.
 """
 
 from __future__ import annotations
@@ -28,31 +37,43 @@ def _nwords(nbits: int) -> int:
     return (nbits + _WORD_MASK) >> _WORD_SHIFT
 
 
-def _tail_mask(nbits: int) -> np.uint64:
-    """Mask selecting the valid bits of the last word."""
-    rem = nbits & _WORD_MASK
-    if rem == 0:
-        return np.uint64(0xFFFFFFFFFFFFFFFF)
-    return np.uint64((1 << rem) - 1)
+def _pack_bits(bits: np.ndarray) -> int:
+    """Pack a 1-D 0/1 array into the canonical int layout (bit i <- bits[i]).
+
+    The single source of truth for the packing idiom; the batched 2-D
+    variant in :meth:`GF2Matrix.from_dense` packs with ``axis=1`` and
+    must keep the same ``bitorder="little"`` + little-endian bytes.
+    """
+    packed = np.packbits(bits.astype(bool), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def _norm_index(i: int, nbits: int) -> int:
+    """Wrap a possibly-negative bit index and bounds-check it."""
+    if i < 0:
+        i += nbits
+    if not 0 <= i < nbits:
+        raise IndexError(f"bit index {i} out of range for length {nbits}")
+    return i
 
 
 class BitVector:
-    """A fixed-length vector over GF(2), packed 64 bits per word.
+    """A fixed-length vector over GF(2), packed into one Python int.
 
     Instances are mutable; use :meth:`copy` before in-place updates when
-    sharing.  Bits beyond ``nbits`` in the last word are kept at zero as
-    a class invariant, so :meth:`weight` and equality never need
+    sharing.  Bits beyond ``nbits`` are never set (``0 <= _x < 2**nbits``
+    as a class invariant), so :meth:`weight` and equality never need
     masking.
     """
 
-    __slots__ = ("nbits", "words")
+    __slots__ = ("nbits", "_x")
 
     def __init__(self, nbits: int, words: np.ndarray | None = None) -> None:
         if nbits < 0:
             raise DimensionError(f"negative vector length: {nbits}")
         self.nbits = nbits
         if words is None:
-            self.words = np.zeros(_nwords(nbits), dtype=np.uint64)
+            self._x = 0
         else:
             words = np.ascontiguousarray(words, dtype=np.uint64)
             if words.shape != (_nwords(nbits),):
@@ -60,13 +81,22 @@ class BitVector:
                     f"expected {_nwords(nbits)} words for {nbits} bits, "
                     f"got shape {words.shape}"
                 )
-            self.words = words
+            x = int.from_bytes(words.tobytes(), "little")
             if nbits:
-                self.words[-1] &= _tail_mask(nbits)
+                x &= (1 << nbits) - 1
+            self._x = x
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_int(cls, nbits: int, x: int) -> "BitVector":
+        """Wrap *x* (already tail-masked) without validation — internal."""
+        vec = object.__new__(cls)
+        vec.nbits = nbits
+        vec._x = x
+        return vec
+
     @classmethod
     def zeros(cls, nbits: int) -> "BitVector":
         """The all-zero vector of length *nbits*."""
@@ -75,19 +105,24 @@ class BitVector:
     @classmethod
     def from_indices(cls, nbits: int, indices: Iterable[int]) -> "BitVector":
         """Vector with ones exactly at *indices*."""
-        vec = cls(nbits)
+        x = 0
         for i in indices:
-            vec.set(i)
+            x |= 1 << _norm_index(i, nbits)
+        vec = cls(nbits)
+        vec._x = x
         return vec
 
     @classmethod
     def from_bits(cls, bits: Iterable[int]) -> "BitVector":
         """Vector from an iterable of 0/1 values (index order)."""
-        seq = list(bits)
-        vec = cls(len(seq))
-        for i, b in enumerate(seq):
-            if b:
-                vec.set(i)
+        arr = np.asarray(bits if isinstance(bits, np.ndarray) else list(bits))
+        if arr.ndim != 1:
+            raise DimensionError(
+                f"from_bits expects a flat sequence, got shape {arr.shape}"
+            )
+        vec = cls(arr.size)
+        if arr.size:
+            vec._x = _pack_bits(arr)
         return vec
 
     @classmethod
@@ -100,41 +135,32 @@ class BitVector:
         bits = rng.random(nbits) < density
         vec = cls(nbits)
         if nbits:
-            packed = np.packbits(bits, bitorder="little")
-            packed = np.pad(packed, (0, _nwords(nbits) * 8 - packed.size))
-            vec.words = packed.view(np.uint64).copy()
-            vec.words[-1] &= _tail_mask(nbits)
+            vec._x = _pack_bits(bits)
         return vec
 
     # ------------------------------------------------------------------
     # Element access
     # ------------------------------------------------------------------
     def _check_index(self, i: int) -> int:
-        if i < 0:
-            i += self.nbits
-        if not 0 <= i < self.nbits:
-            raise IndexError(f"bit index {i} out of range for length {self.nbits}")
-        return i
+        return _norm_index(i, self.nbits)
 
     def get(self, i: int) -> bool:
         """Value of bit *i*."""
         i = self._check_index(i)
-        word = int(self.words[i >> _WORD_SHIFT])
-        return bool((word >> (i & _WORD_MASK)) & 1)
+        return bool((self._x >> i) & 1)
 
     def set(self, i: int, value: bool = True) -> None:
         """Set bit *i* to *value*."""
         i = self._check_index(i)
-        mask = np.uint64(1 << (i & _WORD_MASK))
         if value:
-            self.words[i >> _WORD_SHIFT] |= mask
+            self._x |= 1 << i
         else:
-            self.words[i >> _WORD_SHIFT] &= ~mask
+            self._x &= ~(1 << i)
 
     def flip(self, i: int) -> None:
         """Toggle bit *i*."""
         i = self._check_index(i)
-        self.words[i >> _WORD_SHIFT] ^= np.uint64(1 << (i & _WORD_MASK))
+        self._x ^= 1 << i
 
     __getitem__ = get
 
@@ -152,73 +178,86 @@ class BitVector:
 
     def ixor(self, other: "BitVector") -> "BitVector":
         """In-place XOR (addition over GF(2)); returns ``self``."""
-        self._check_same_length(other)
-        np.bitwise_xor(self.words, other.words, out=self.words)
+        if self.nbits != other.nbits:
+            raise DimensionError(
+                f"length mismatch: {self.nbits} vs {other.nbits}"
+            )
+        self._x ^= other._x
         return self
 
     def __xor__(self, other: "BitVector") -> "BitVector":
         self._check_same_length(other)
-        return BitVector(self.nbits, np.bitwise_xor(self.words, other.words))
+        return BitVector._from_int(self.nbits, self._x ^ other._x)
 
     def __ixor__(self, other: "BitVector") -> "BitVector":
         return self.ixor(other)
 
     def __and__(self, other: "BitVector") -> "BitVector":
         self._check_same_length(other)
-        return BitVector(self.nbits, np.bitwise_and(self.words, other.words))
+        return BitVector._from_int(self.nbits, self._x & other._x)
 
     def __or__(self, other: "BitVector") -> "BitVector":
         self._check_same_length(other)
-        return BitVector(self.nbits, np.bitwise_or(self.words, other.words))
+        return BitVector._from_int(self.nbits, self._x | other._x)
 
     def overlap(self, other: "BitVector") -> int:
         """Number of positions where both vectors have a one."""
         self._check_same_length(other)
-        return int(
-            np.bitwise_count(np.bitwise_and(self.words, other.words)).sum()
-        )
+        return (self._x & other._x).bit_count()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def weight(self) -> int:
         """Hamming weight (the packet *degree* when used as code vector)."""
-        return int(np.bitwise_count(self.words).sum())
+        return self._x.bit_count()
 
     def is_zero(self) -> bool:
         """True iff every bit is zero."""
-        return not self.words.any()
+        return self._x == 0
+
+    def indices_list(self) -> list[int]:
+        """Positions holding a one, ascending, as plain Python ints."""
+        x = self._x
+        out = []
+        append = out.append
+        while x:
+            lsb = x & -x
+            append(lsb.bit_length() - 1)
+            x ^= lsb
+        return out
 
     def indices(self) -> np.ndarray:
         """Sorted array of positions holding a one."""
-        if self.nbits == 0:
-            return np.empty(0, dtype=np.int64)
-        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
-        return np.flatnonzero(bits[: self.nbits]).astype(np.int64)
+        return np.array(self.indices_list(), dtype=np.int64)
 
     def first_index(self) -> int:
         """Position of the lowest set bit; -1 if the vector is zero."""
-        nz = np.flatnonzero(self.words)
-        if nz.size == 0:
-            return -1
-        w = int(nz[0])
-        word = int(self.words[w])
-        return (w << _WORD_SHIFT) + ((word & -word).bit_length() - 1)
+        return (self._x & -self._x).bit_length() - 1
 
     def key(self) -> bytes:
-        """Hashable canonical form (for dict/set membership)."""
-        return self.words.tobytes()
+        """Hashable canonical form (for dict/set membership).
+
+        Byte layout is the little-endian 64-bit word array — identical
+        to the numpy-backed kernel's ``words.tobytes()``.
+        """
+        return self._x.to_bytes(_nwords(self.nbits) * 8, "little")
 
     def nwords(self) -> int:
         """Number of 64-bit words backing the vector."""
-        return int(self.words.size)
+        return _nwords(self.nbits)
+
+    @property
+    def words(self) -> np.ndarray:
+        """The vector as a little-endian ``uint64`` word array (a copy)."""
+        return np.frombuffer(self.key(), dtype=np.uint64).copy()
 
     # ------------------------------------------------------------------
     # Dunder plumbing
     # ------------------------------------------------------------------
     def copy(self) -> "BitVector":
         """Independent copy of this vector."""
-        return BitVector(self.nbits, self.words.copy())
+        return BitVector._from_int(self.nbits, self._x)
 
     def __len__(self) -> int:
         return self.nbits
@@ -226,16 +265,22 @@ class BitVector:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitVector):
             return NotImplemented
-        return self.nbits == other.nbits and bool(
-            np.array_equal(self.words, other.words)
-        )
+        return self.nbits == other.nbits and self._x == other._x
 
     def __hash__(self) -> int:
         return hash((self.nbits, self.key()))
 
+    def __getstate__(self) -> tuple[int, int]:
+        return (self.nbits, self._x)
+
+    def __setstate__(self, state: tuple[int, int]) -> None:
+        self.nbits, self._x = state
+
     def __iter__(self) -> Iterator[bool]:
-        for i in range(self.nbits):
-            yield self.get(i)
+        x = self._x
+        for _ in range(self.nbits):
+            yield bool(x & 1)
+            x >>= 1
 
     def __repr__(self) -> str:
         if self.nbits <= 64:

@@ -15,6 +15,16 @@ out of the reduction (once the rank reaches *k* the basis rows are unit
 vectors and payload rows are the native packets).  Every row operation
 is recorded in an :class:`~repro.costmodel.counters.OpCounter` so the
 Figure 8 cost benches can weigh it.
+
+Hot-loop design: alongside the column->row dict the basis keeps a
+*pivot-column bitmask* (one int), so the forward reduction finds the
+next pivot overlap with a single ``&`` instead of re-scanning the
+residual's indices, and the back-substitution test is one bit probe
+per basis row.  Counter totals are provably identical to the reference
+kernel (``repro.gf2.reference``): the reference loop charges one
+``table_op`` per column it walks, and the closed-form
+``popcount(residual & mask)`` expressions below charge the same walk
+without taking it — the differential property tests pin this down.
 """
 
 from __future__ import annotations
@@ -51,11 +61,26 @@ class GF2Matrix:
 
     @classmethod
     def from_dense(cls, array: np.ndarray) -> "GF2Matrix":
-        """Build from a 2-D 0/1 array (row per vector)."""
+        """Build from a 2-D 0/1 array (row per vector).
+
+        Rows are packed with one :func:`numpy.packbits` call over the
+        whole matrix rather than a Python loop per bit.
+        """
         array = np.asarray(array)
         if array.ndim != 2:
             raise DimensionError("from_dense expects a 2-D array")
-        return cls(BitVector.from_bits(row) for row in (array % 2))
+        nrows, ncols = array.shape
+        if ncols == 0:
+            return cls(BitVector(0) for _ in range(nrows))
+        packed = np.packbits(
+            (array % 2).astype(bool), axis=1, bitorder="little"
+        )
+        return cls(
+            BitVector._from_int(
+                ncols, int.from_bytes(packed[i].tobytes(), "little")
+            )
+            for i in range(nrows)
+        )
 
     def to_dense(self) -> np.ndarray:
         """Return the matrix as a 2-D uint8 0/1 array."""
@@ -126,6 +151,8 @@ class IncrementalRref:
         self.counter = counter if counter is not None else OpCounter()
         # pivot column -> position in self._rows
         self._pivot_of_col: dict[int, int] = {}
+        # bitmask with bit c set iff column c is a pivot column
+        self._pivot_mask: int = 0
         self._rows: list[BitVector] = []
         self._payloads: list[np.ndarray | None] = []
         self._pivot_cols: list[int] = []
@@ -156,10 +183,11 @@ class IncrementalRref:
         row_idx: int,
     ) -> np.ndarray | None:
         """XOR basis row *row_idx* into (vec, payload), with accounting."""
-        vec.ixor(self._rows[row_idx])
-        self.counter.add("gauss_row_xor")
-        self.counter.add("vec_word_xor", vec.nwords())
-        self.counter.add("payload_xor")
+        vec._x ^= self._rows[row_idx]._x
+        counter = self.counter
+        counter.add("gauss_row_xor")
+        counter.add("vec_word_xor", (self.ncols + 63) >> 6)
+        counter.add("payload_xor")
         other = self._payloads[row_idx]
         if payload is not None and other is not None:
             payload = payload.copy() if payload.base is not None else payload
@@ -178,18 +206,35 @@ class IncrementalRref:
             raise DimensionError(
                 f"vector of length {vec.nbits} vs ncols {self.ncols}"
             )
-        residual = vec.copy()
         res_payload = payload.copy() if payload is not None else None
-        while True:
-            lead = residual.first_index()
-            if lead < 0:
+        x = vec._x
+        pivot_mask = self._pivot_mask
+        pivot_of_col = self._pivot_of_col
+        rows = self._rows
+        payloads = self._payloads
+        n_lookups = 0
+        n_xors = 0
+        # Basis rows are canonical (no other pivot column set), so each
+        # XOR clears exactly the current lead among pivot columns and
+        # only ever touches bits above it: the loop walks leads upward.
+        while x:
+            lsb = x & -x
+            n_lookups += 1
+            if not (pivot_mask & lsb):
                 break
-            row_idx = self._pivot_of_col.get(lead)
-            self.counter.add("table_op")
-            if row_idx is None:
-                break
-            res_payload = self._xor_row(residual, res_payload, row_idx)
-        return residual, res_payload
+            row_idx = pivot_of_col[lsb.bit_length() - 1]
+            x ^= rows[row_idx]._x
+            n_xors += 1
+            other = payloads[row_idx]
+            if res_payload is not None and other is not None:
+                np.bitwise_xor(res_payload, other, out=res_payload)
+        counter = self.counter
+        counter.add("table_op", n_lookups)
+        if n_xors:
+            counter.add("gauss_row_xor", n_xors)
+            counter.add("vec_word_xor", n_xors * ((self.ncols + 63) >> 6))
+            counter.add("payload_xor", n_xors)
+        return BitVector._from_int(self.ncols, x), res_payload
 
     def contains(self, vec: BitVector) -> bool:
         """True iff *vec* is in the span of the inserted rows."""
@@ -231,27 +276,47 @@ class IncrementalRref:
         self._payloads.append(res_payload)
         self._pivot_cols.append(lead)
         self._pivot_of_col[lead] = row_idx
-        self.counter.add("table_op")
+        self._pivot_mask |= 1 << lead
+        counter = self.counter
+        counter.add("table_op")
         # Back-substitute: clear the new pivot column from older rows.
+        lead_bit = 1 << lead
+        new_x = residual._x
+        rows = self._rows
+        payloads = self._payloads
+        n_subs = 0
         for i in range(row_idx):
-            if self._rows[i].get(lead):
-                self._payloads[i] = self._xor_row(
-                    self._rows[i], self._payloads[i], row_idx
-                )
+            row = rows[i]
+            if row._x & lead_bit:
+                row._x ^= new_x
+                n_subs += 1
+                p = payloads[i]
+                if p is not None and res_payload is not None:
+                    np.bitwise_xor(p, res_payload, out=p)
+        if n_subs:
+            counter.add("gauss_row_xor", n_subs)
+            counter.add("vec_word_xor", n_subs * ((self.ncols + 63) >> 6))
+            counter.add("payload_xor", n_subs)
         return True
 
     def _next_pivot_overlap(self, vec: BitVector) -> int | None:
         """Index of a basis row whose pivot column is set in *vec*.
 
         Only columns *after* the leading one can still be set, since
-        :meth:`reduce` cleared every pivot at or before the lead.
+        :meth:`reduce` cleared every pivot at or before the lead.  The
+        overlap is found with one ``&`` against the pivot mask; the
+        ``table_op`` charge replays the per-column walk the reference
+        kernel performs (every set bit up to and including the hit, or
+        the whole support on a miss).
         """
-        for col in vec.indices():
-            self.counter.add("table_op")
-            row_idx = self._pivot_of_col.get(int(col))
-            if row_idx is not None and int(col) != vec.first_index():
-                return row_idx
-        return None
+        x = vec._x
+        overlap = x & self._pivot_mask & ~(x & -x)
+        if not overlap:
+            self.counter.add("table_op", x.bit_count())
+            return None
+        low = overlap & -overlap
+        self.counter.add("table_op", (x & ((low << 1) - 1)).bit_count())
+        return self._pivot_of_col[low.bit_length() - 1]
 
     # ------------------------------------------------------------------
     def decode(self) -> list[np.ndarray]:

@@ -160,6 +160,12 @@ class EpidemicSimulator:
         self._node_kwargs = dict(node_kwargs or {})
         self.result = DisseminationResult(self.scheme, n_nodes, k)
         self._data_received = [0] * n_nodes
+        # Incomplete node ids, maintained incrementally as completions
+        # are detected (prewarm / transfer), so churn never rescans the
+        # whole membership.
+        self._incomplete: set[int] = {
+            i for i, node in enumerate(self.nodes) if not node.is_complete()
+        }
 
     @property
     def source(self) -> SchemeNode:
@@ -192,6 +198,7 @@ class EpidemicSimulator:
                 self._data_received[node_id] += 1
                 node.receive(source.make_packet(None))
             if node.is_complete():
+                self._incomplete.discard(node_id)
                 self.result.completion_rounds.setdefault(node_id, 0)
                 self.result.data_until_complete.setdefault(
                     node_id, self._data_received[node_id]
@@ -231,6 +238,7 @@ class EpidemicSimulator:
         else:
             result.redundant_transfers += 1
         if not was_complete and receiver.is_complete():
+            self._incomplete.discard(receiver_id)
             result.completion_rounds[receiver_id] = round_index
             result.data_until_complete[receiver_id] = self._data_received[
                 receiver_id
@@ -243,11 +251,9 @@ class EpidemicSimulator:
         content.  The newcomer keeps the crashed node's identity but
         starts with empty coding state.
         """
-        incomplete = [
-            i for i, node in enumerate(self.nodes) if not node.is_complete()
-        ]
-        if not incomplete:
+        if not self._incomplete:
             return
+        incomplete = sorted(self._incomplete)
         victim = int(incomplete[self._fault_rng.integers(len(incomplete))])
         self.result.churn_events += 1
         # Fold the dying node's counters so its work is not forgotten.
@@ -274,20 +280,25 @@ class EpidemicSimulator:
         """Run one gossip period."""
         if self.channel.churns(self._fault_rng, round_index):
             self._churn()
+        transfer = self._transfer
+        order_rng = self._order_rng
+        n_nodes = self.n_nodes
         # Source injection: sources are not members of the overlay, so
         # they draw targets uniformly themselves.
         for source in self.sources:
             for _ in range(self.source_pushes):
-                target = int(self._order_rng.integers(self.n_nodes))
-                self._transfer(source, target, round_index)
-        # Node pushes, in random order for fairness.
-        order = self._order_rng.permutation(self.n_nodes)
-        for sender_id in order:
-            sender = self.nodes[int(sender_id)]
+                target = int(order_rng.integers(n_nodes))
+                transfer(source, target, round_index)
+        # Node pushes, in random order for fairness (one bulk tolist
+        # instead of a per-element numpy-scalar conversion).
+        nodes = self.nodes
+        sampler_peers = self.sampler.peers
+        for sender_id in order_rng.permutation(n_nodes).tolist():
+            sender = nodes[sender_id]
             if not sender.can_send():
                 continue
-            (target,) = self.sampler.peers(int(sender_id), 1, round_index)
-            self._transfer(sender, target, round_index)
+            (target,) = sampler_peers(sender_id, 1, round_index)
+            transfer(sender, target, round_index)
         self.result.record_round(round_index)
 
     def run(self) -> DisseminationResult:

@@ -113,12 +113,15 @@ class BeliefPropagationDecoder:
         )
         # Reduce against decoded natives (each removal is one edge that
         # never enters the graph, but still an XOR on the data plane).
-        for idx in [i for i in support if self.graph.is_decoded(i)]:
+        graph = self.graph
+        is_decoded = graph.is_decoded
+        counter = self.counter
+        for idx in [i for i in support if is_decoded(i)]:
             support.discard(idx)
             payload = xor_payloads(
-                payload, self.graph.native_payload(idx), self.counter
+                payload, graph.native_payload(idx), counter
             )
-            self.counter.add("table_op")
+            counter.add("table_op")
         if not support:
             self.redundant_received += 1
             return ReceiveOutcome(redundant=True)

@@ -147,20 +147,22 @@ class RlncNode:
         if not self.received:
             raise RecodingError("no packets received yet; cannot recode")
         t = min(self.sparsity, len(self.received))
+        received = self.received
+        counter = self.recode_counter
         for _ in range(16):
-            self.recode_counter.add("rng_draw", 2)
-            picks = self.rng.choice(len(self.received), size=t, replace=False)
+            counter.add("rng_draw", 2)
+            picks = self.rng.choice(len(received), size=t, replace=False)
             coeffs = self.rng.random(t) < 0.5
             fresh: EncodedPacket | None = None
-            for j, keep in zip(picks, coeffs):
+            for j, keep in zip(picks.tolist(), coeffs.tolist()):
                 if not keep:
                     continue
                 if fresh is None:
-                    fresh = self.received[int(j)].copy()
+                    fresh = received[j].copy()
                     # The initial copy streams m payload bytes.
-                    self.recode_counter.add("payload_xor")
+                    counter.add("payload_xor")
                 else:
-                    fresh.ixor(self.received[int(j)], self.recode_counter)
+                    fresh.ixor(received[j], counter)
             if fresh is not None and not fresh.vector.is_zero():
                 self.recoded_count += 1
                 return fresh

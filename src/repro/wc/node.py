@@ -121,7 +121,7 @@ class WcNode:
             raise DimensionError(
                 f"WC received a degree-{packet.degree} packet"
             )
-        index = int(packet.vector.first_index())
+        index = packet.vector.first_index()
         self.decode_counter.add("table_op")
         if index in self.received:
             self.redundant_count += 1

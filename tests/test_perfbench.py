@@ -1,0 +1,90 @@
+"""Unit tests for the repro.experiments.perfbench harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.perfbench import (
+    SCHEMA_VERSION,
+    bench_bitvector_ops,
+    bench_decode,
+    bench_end_to_end,
+    bench_rref_insert_reduce,
+    main,
+    run_perfbench,
+    validate_bench,
+)
+
+
+def test_microbench_units_report_positive_rates():
+    rref = bench_rref_insert_reduce(32, 50, seed=1)
+    assert rref["n_ops"] == 50 and rref["ops_per_sec"] > 0
+    vec = bench_bitvector_ops(32, 500, seed=1)
+    assert vec["ixor_per_sec"] > 0 and vec["indices_per_sec"] > 0
+    dec = bench_decode(16, 1, seed=1)
+    assert dec["gauss_packets"] >= 16 and dec["bp_packets"] >= 16
+    assert dec["gauss_packets_per_sec"] > 0 and dec["bp_packets_per_sec"] > 0
+
+
+def test_fast_and_reference_kernels_do_identical_work():
+    # Same seed -> same vector stream -> the op counts agree; only the
+    # wall-clock rate may differ.  Guards against benching the two
+    # kernels on accidentally different workloads.
+    fast = bench_rref_insert_reduce(24, 40, seed=9, kernel="fast")
+    ref = bench_rref_insert_reduce(24, 40, seed=9, kernel="reference")
+    assert fast["n_ops"] == ref["n_ops"] == 40
+
+
+def test_end_to_end_bench_completes_scenario():
+    entry = bench_end_to_end("rlnc", n_nodes=6, k=8, seed=5)
+    assert entry["all_complete"]
+    assert entry["rounds"] >= 1 and entry["rounds_per_sec"] > 0
+
+
+def test_run_perfbench_quick_schema_and_validation(tmp_path):
+    report = run_perfbench(
+        profile="quick", seed=7, ks=(16, 32), schemes=("wc", "rlnc")
+    )
+    validate_bench(report)
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert set(report["end_to_end"]) == {"wc", "rlnc"}
+    entry = report["microbench"]["rref_insert_reduce"]["k=32"]
+    assert {"ops_per_sec", "baseline_ops_per_sec", "speedup_vs_baseline"} <= set(
+        entry
+    )
+    # Round-trips through JSON (the artifact contract).
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(report))
+    validate_bench(json.loads(path.read_text()))
+
+
+def test_validate_bench_rejects_broken_reports():
+    report = run_perfbench(
+        profile="quick",
+        seed=7,
+        ks=(16,),
+        schemes=("wc",),
+        include_baseline=False,
+    )
+    validate_bench(report)
+    broken = json.loads(json.dumps(report))
+    broken["microbench"]["rref_insert_reduce"]["k=16"]["ops_per_sec"] = 0
+    with pytest.raises(ValueError, match="ops_per_sec not positive"):
+        validate_bench(broken)
+    missing = json.loads(json.dumps(report))
+    del missing["end_to_end"]
+    with pytest.raises(ValueError, match="end_to_end"):
+        validate_bench(missing)
+    with pytest.raises(ValueError, match="unknown profile"):
+        run_perfbench(profile="nope")
+
+
+def test_cli_writes_validated_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    assert main(["--quick", "--seed", "3", "--out", str(out)]) == 0
+    data = json.loads(out.read_text())
+    validate_bench(data)
+    assert data["profile"] == "quick"
+    assert "rref k=64" in capsys.readouterr().out
