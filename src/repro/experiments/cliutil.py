@@ -1,11 +1,14 @@
 """Shared argument plumbing for the experiment sweep CLIs.
 
-The sweep drivers (``topo_compare``, ``content_compare``) take the
-same runner knobs as ``python -m repro.scenarios``: ``--trials``,
-``--workers``, ``--seed``, ``--scale``, ``--out``.  This module keeps
-their validation identical — bad values produce argparse's short
-"usage + error" message, never a traceback — so every new driver gets
-the friendly behaviour from day one instead of re-growing it.
+The sweep drivers (``topo_compare``, ``content_compare``,
+``scheme_compare``) take the same runner knobs as
+``python -m repro.scenarios``: ``--trials``, ``--workers``, ``--seed``,
+``--scale``, ``--out``, plus the fleet knobs ``--shards``,
+``--checkpoint-dir``, ``--resume`` and ``--stop-after-shards``.  This
+module keeps their validation identical — bad values produce
+argparse's short "usage + error" message, never a traceback — so every
+new driver gets the friendly behaviour from day one instead of
+re-growing it.
 """
 
 from __future__ import annotations
@@ -17,10 +20,13 @@ import sys
 
 __all__ = [
     "add_runner_arguments",
+    "add_fleet_arguments",
     "validate_runner_arguments",
+    "make_runner",
     "resolve_profile",
     "comparison_rows",
     "print_table",
+    "report_fleet_stop",
     "write_aggregates",
 ]
 
@@ -46,6 +52,38 @@ def add_runner_arguments(
     parser.add_argument(
         "--out", default=None, help="also write the aggregate JSON here"
     )
+    add_fleet_arguments(parser)
+
+
+def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the sharded-fleet knobs (checkpointing and resume)."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shards per scenario (default: auto; shards are the unit "
+        "of checkpointing)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist every finished shard here (atomic JSON); an "
+        "interrupted sweep resumes from the last finished shard",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay matching checkpoints from --checkpoint-dir "
+        "instead of recomputing them",
+    )
+    parser.add_argument(
+        "--stop-after-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint N shards then exit with status 3 "
+        "(deterministic-interruption hook for smoke tests)",
+    )
 
 
 def validate_runner_arguments(
@@ -56,6 +94,54 @@ def validate_runner_arguments(
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.trials is not None and args.trials < 1:
         parser.error(f"--trials must be >= 1, got {args.trials}")
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        parser.error(f"--shards must be >= 1, got {shards}")
+    stop_after = getattr(args, "stop_after_shards", None)
+    if stop_after is not None and stop_after < 1:
+        parser.error(f"--stop-after-shards must be >= 1, got {stop_after}")
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if getattr(args, "resume", False) and checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if stop_after is not None and checkpoint_dir is None:
+        parser.error("--stop-after-shards requires --checkpoint-dir")
+
+
+def make_runner(args: argparse.Namespace):
+    """The trial runner the CLI's flags ask for.
+
+    Plain runs keep the :class:`~repro.scenarios.runner.TrialRunner`
+    (whole grid in one pool dispatch); any fleet flag switches to the
+    :class:`~repro.scenarios.fleet.FleetRunner`, whose aggregates are
+    byte-identical for every (workers, shards) combination.
+    """
+    from repro.scenarios.fleet import FleetRunner
+    from repro.scenarios.runner import TrialRunner
+
+    if (
+        getattr(args, "shards", None) is None
+        and getattr(args, "checkpoint_dir", None) is None
+        and getattr(args, "stop_after_shards", None) is None
+    ):
+        return TrialRunner(n_workers=args.workers)
+    return FleetRunner(
+        n_workers=args.workers,
+        n_shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        stop_after_shards=args.stop_after_shards,
+    )
+
+
+def report_fleet_stop(stop, checkpoint_dir: str | None) -> int:
+    """Announce an early fleet stop on stderr; the CLI exit status (3)."""
+    where = f" under {checkpoint_dir}" if checkpoint_dir else ""
+    print(
+        f"fleet {stop}; finished shards are checkpointed{where} — "
+        "rerun with --resume to continue",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def resolve_profile(parser: argparse.ArgumentParser, scale: str | None):
@@ -121,11 +207,17 @@ def print_table(header: list[str], rows: list[list[str]]) -> None:
 
 
 def write_aggregates(path: str, aggregates: dict) -> None:
-    """Persist ``{name: aggregate}`` as deterministic indented JSON."""
+    """Persist ``{name: aggregate}`` as deterministic indented JSON.
+
+    Atomic (temp file + rename), so a crash mid-write never leaves a
+    truncated report for a later tool to trust.
+    """
+    from repro.scenarios.aggregate import atomic_write_text
+
     payload = {
         name: aggregate.to_dict() for name, aggregate in aggregates.items()
     }
-    out = pathlib.Path(path)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    out = atomic_write_text(
+        pathlib.Path(path), json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    )
     print(f"wrote {out}", file=sys.stderr)

@@ -28,12 +28,15 @@ import argparse
 from repro.experiments import cliutil
 from repro.experiments.cliutil import (
     add_runner_arguments,
+    make_runner,
     print_table,
+    report_fleet_stop,
     resolve_profile,
     validate_runner_arguments,
     write_aggregates,
 )
 from repro.scenarios.aggregate import ScenarioAggregate
+from repro.scenarios.fleet import FleetStop
 from repro.scenarios.presets import CONTENT_PRESETS, get_preset
 from repro.scenarios.runner import TrialRunner
 
@@ -56,13 +59,16 @@ def run_content_compare(
     n_workers: int = 1,
     profile=None,
     include_baseline: bool = True,
+    runner=None,
 ) -> dict[str, ScenarioAggregate]:
     """Run the catalogue sweep; one aggregate per preset.
 
     Trials fan out across ``n_workers`` processes with the runner's
     usual guarantees (bit-reproducible seeds, worker-count-invariant
     aggregates).  ``n_trials`` defaults to the profile's Monte-Carlo
-    count (at least 2, so CIs exist).
+    count (at least 2, so CIs exist).  Pass a
+    :class:`~repro.scenarios.fleet.FleetRunner` as ``runner`` for
+    sharded, checkpointed execution; the aggregated JSON is identical.
     """
     from repro.experiments.scale import current_profile
 
@@ -70,9 +76,9 @@ def run_content_compare(
     trials = n_trials if n_trials is not None else max(2, p.monte_carlo)
     names = (("baseline",) if include_baseline else ()) + tuple(presets)
     specs = [get_preset(name, p) for name in names]
-    return TrialRunner(n_workers=n_workers).run_grid(
-        specs, trials, master_seed=master_seed
-    )
+    if runner is None:
+        runner = TrialRunner(n_workers=n_workers)
+    return runner.run_grid(specs, trials, master_seed=master_seed)
 
 
 def comparison_rows(
@@ -98,12 +104,16 @@ def main(argv: list[str] | None = None) -> int:
     validate_runner_arguments(parser, args)
     profile = resolve_profile(parser, args.scale)
 
-    aggregates = run_content_compare(
-        n_trials=args.trials,
-        master_seed=args.seed,
-        n_workers=args.workers,
-        profile=profile,
-    )
+    try:
+        aggregates = run_content_compare(
+            n_trials=args.trials,
+            master_seed=args.seed,
+            n_workers=args.workers,
+            profile=profile,
+            runner=make_runner(args),
+        )
+    except FleetStop as stop:
+        return report_fleet_stop(stop, args.checkpoint_dir)
     header, rows = comparison_rows(aggregates)
     print_table(header, rows)
     if args.out:

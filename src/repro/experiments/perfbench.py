@@ -15,7 +15,11 @@ diff against:
   *same run* rather than read off a stale note;
 * **end-to-end rounds/sec** — one seeded
   :class:`~repro.gossip.simulator.EpidemicSimulator` run per built-in
-  scheme.
+  scheme;
+* **fleet throughput** — a seed-pinned baseline trial grid through the
+  sharded :class:`~repro.scenarios.fleet.FleetRunner` (chunked
+  dispatch over a worker pool), reported as trials/sec — the number a
+  25-repetition, N = 1,000 paper-scale sweep divides by.
 
 All workloads are seed-pinned, so the *work* is identical run to run
 and only wall-clock throughput varies with the host.  Run it with::
@@ -48,6 +52,7 @@ __all__ = [
     "DEFAULT_SEED",
     "KERNEL_KS",
     "bench_rref_insert_reduce",
+    "bench_fleet",
     "bench_bitvector_ops",
     "bench_decode",
     "bench_end_to_end",
@@ -56,13 +61,14 @@ __all__ = [
     "main",
 ]
 
-SCHEMA_VERSION = 1
+#: v2 added the ``fleet`` section (sharded trial-grid throughput).
+SCHEMA_VERSION = 2
 DEFAULT_SEED = 2026
 KERNEL_KS: tuple[int, ...] = (32, 64, 128, 256)
 DEFAULT_OUT = "BENCH_ltnc.json"
 
 #: Workload sizes per profile: (rref vectors, bitvec ops, decode
-#: batches, end-to-end n_nodes, end-to-end k).
+#: batches, end-to-end n_nodes, end-to-end k, fleet grid shape).
 _PROFILES = {
     "full": {
         "rref_vectors": 2000,
@@ -71,6 +77,10 @@ _PROFILES = {
         "decode_batches": 20,
         "e2e_nodes": 32,
         "e2e_k": 128,
+        "fleet_trials": 100,
+        "fleet_nodes": 16,
+        "fleet_k": 32,
+        "fleet_shards": 4,
     },
     "quick": {
         "rref_vectors": 300,
@@ -79,6 +89,10 @@ _PROFILES = {
         "decode_batches": 3,
         "e2e_nodes": 10,
         "e2e_k": 24,
+        "fleet_trials": 12,
+        "fleet_nodes": 8,
+        "fleet_k": 16,
+        "fleet_shards": 3,
     },
 }
 
@@ -233,6 +247,46 @@ def bench_end_to_end(
     }
 
 
+def bench_fleet(
+    n_trials: int,
+    n_nodes: int,
+    k: int,
+    seed: int,
+    n_workers: int | None = None,
+    n_shards: int = 4,
+) -> dict[str, float]:
+    """Trial-grid throughput through the sharded fleet runner.
+
+    Runs a seed-pinned ``baseline``-shaped grid (uniform sampling,
+    LTNC defaults) through :class:`~repro.scenarios.fleet.FleetRunner`
+    — chunked pool dispatch, shard-streamed aggregation, no
+    checkpointing — and reports trials/sec.  The *work* is identical
+    run to run; only wall-clock varies with the host, as everywhere in
+    this harness.
+    """
+    from repro.scenarios.fleet import FleetRunner
+    from repro.scenarios.spec import ScenarioSpec
+
+    if n_workers is None:
+        n_workers = min(4, os.cpu_count() or 1)
+    spec = ScenarioSpec(name="fleet_baseline", n_nodes=n_nodes, k=k)
+    runner = FleetRunner(n_workers=n_workers, n_shards=n_shards)
+    t0 = time.perf_counter()
+    aggregate = runner.run(spec, n_trials, master_seed=seed)
+    seconds = time.perf_counter() - t0
+    summary = aggregate.metrics_summary()
+    return {
+        "n_trials": n_trials,
+        "n_nodes": n_nodes,
+        "k": k,
+        "n_workers": n_workers,
+        "n_shards": n_shards,
+        "completed_fraction": summary["completed_fraction"]["mean"],
+        "seconds": round(seconds, 6),
+        "trials_per_sec": round(n_trials / seconds, 2),
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -280,6 +334,14 @@ def run_perfbench(
         for scheme in schemes
     }
 
+    fleet = bench_fleet(
+        sizes["fleet_trials"],
+        sizes["fleet_nodes"],
+        sizes["fleet_k"],
+        seed,
+        n_shards=sizes["fleet_shards"],
+    )
+
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "ltnc-perfbench",
@@ -301,6 +363,7 @@ def run_perfbench(
             "decode": decode,
         },
         "end_to_end": end_to_end,
+        "fleet": fleet,
     }
 
 
@@ -344,6 +407,14 @@ def validate_bench(data: dict[str, object]) -> None:
                 errors.append(f"end_to_end[{scheme}].rounds_per_sec not positive")
             elif not entry.get("all_complete"):
                 errors.append(f"end_to_end[{scheme}] did not complete")
+    fleet = data.get("fleet")
+    if not isinstance(fleet, dict):
+        errors.append("fleet section missing")
+    else:
+        if fleet.get("trials_per_sec", 0) <= 0:
+            errors.append("fleet.trials_per_sec not positive")
+        if fleet.get("completed_fraction", 0) != 1.0:
+            errors.append("fleet.completed_fraction != 1.0")
     if errors:
         raise ValueError("invalid perfbench report: " + "; ".join(errors))
 
@@ -389,6 +460,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             f" ({rref64['speedup_vs_baseline']}x vs numpy baseline "
             f"{rref64['baseline_ops_per_sec']} ops/s)"
         )
+    fleet = report["fleet"]
+    line += (
+        f"; fleet {fleet['trials_per_sec']} trials/s "
+        f"({fleet['n_trials']}-trial grid, {fleet['n_shards']} shards)"
+    )
     print(line)
     return 0
 

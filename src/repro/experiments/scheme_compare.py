@@ -27,12 +27,15 @@ import argparse
 from repro.experiments import cliutil
 from repro.experiments.cliutil import (
     add_runner_arguments,
+    make_runner,
     print_table,
+    report_fleet_stop,
     resolve_profile,
     validate_runner_arguments,
     write_aggregates,
 )
 from repro.scenarios.aggregate import ScenarioAggregate
+from repro.scenarios.fleet import FleetStop
 from repro.scenarios.presets import get_preset
 from repro.scenarios.runner import TrialRunner
 from repro.errors import SimulationError
@@ -75,21 +78,24 @@ def run_scheme_compare(
     master_seed: int = 2010,
     n_workers: int = 1,
     profile=None,
+    runner=None,
 ) -> dict[str, ScenarioAggregate]:
     """Run the registry sweep; one aggregate per scheme.
 
     ``schemes=None`` races everything registered.  Trials fan out
     across ``n_workers`` processes with the runner's usual guarantees
-    (bit-reproducible seeds, worker-count-invariant aggregates).
+    (bit-reproducible seeds, worker-count-invariant aggregates).  Pass
+    a :class:`~repro.scenarios.fleet.FleetRunner` as ``runner`` for
+    sharded, checkpointed execution; the aggregated JSON is identical.
     """
     from repro.experiments.scale import current_profile
 
     p = profile if profile is not None else current_profile()
     trials = n_trials if n_trials is not None else max(2, p.monte_carlo)
     specs = scheme_specs(schemes, p)
-    return TrialRunner(n_workers=n_workers).run_grid(
-        specs, trials, master_seed=master_seed
-    )
+    if runner is None:
+        runner = TrialRunner(n_workers=n_workers)
+    return runner.run_grid(specs, trials, master_seed=master_seed)
 
 
 def comparison_rows(
@@ -132,13 +138,17 @@ def main(argv: list[str] | None = None) -> int:
             except SimulationError as exc:
                 parser.error(str(exc))
 
-    aggregates = run_scheme_compare(
-        schemes=schemes,
-        n_trials=args.trials,
-        master_seed=args.seed,
-        n_workers=args.workers,
-        profile=profile,
-    )
+    try:
+        aggregates = run_scheme_compare(
+            schemes=schemes,
+            n_trials=args.trials,
+            master_seed=args.seed,
+            n_workers=args.workers,
+            profile=profile,
+            runner=make_runner(args),
+        )
+    except FleetStop as stop:
+        return report_fleet_stop(stop, args.checkpoint_dir)
     header, rows = comparison_rows(aggregates)
     print_table(header, rows)
     if args.out:

@@ -11,15 +11,30 @@ multi-content ``zipf_catalogue``, ``edge_cache_catalogue`` and
 ``striped_vod`` riding :mod:`repro.content`, plus ``sparse_rlnc``
 riding the :mod:`repro.schemes` registry);
 :mod:`~repro.scenarios.runner` fans scenario × seed grids out across
-worker processes; :mod:`~repro.scenarios.aggregate` folds the per-trial
-results into mean/CI summaries with deterministic JSON export.
+worker processes; :mod:`~repro.scenarios.fleet` shards those grids
+into checkpointable units with interrupt-safe resume
+(:class:`FleetRunner`); :mod:`~repro.scenarios.aggregate` folds the
+per-trial results into mean/CI summaries with deterministic JSON
+export.
 
 CLI: ``python -m repro.scenarios --scenario churn --trials 8
 --workers 4 --seed 7``.
 """
 
 from repro.content.spec import CatalogueSpec, ContentSpec
-from repro.scenarios.aggregate import ScenarioAggregate, summary_stats
+from repro.scenarios.aggregate import (
+    ScenarioAggregate,
+    atomic_write_text,
+    summary_stats,
+)
+from repro.scenarios.fleet import (
+    CheckpointStore,
+    FleetRunner,
+    FleetStop,
+    ShardSpec,
+    grid_fingerprint,
+    plan_shards,
+)
 from repro.scenarios.presets import (
     CONTENT_PRESETS,
     PRESETS,
@@ -42,6 +57,7 @@ from repro.scenarios.presets import (
 from repro.scenarios.runner import (
     TrialRunner,
     TrialSpec,
+    default_chunksize,
     parallel_map,
     run_trial,
     trial_seed,
@@ -51,7 +67,15 @@ from repro.topology.spec import TopologySpec
 
 __all__ = [
     "ScenarioAggregate",
+    "atomic_write_text",
     "summary_stats",
+    "CheckpointStore",
+    "FleetRunner",
+    "FleetStop",
+    "ShardSpec",
+    "grid_fingerprint",
+    "plan_shards",
+    "default_chunksize",
     "CONTENT_PRESETS",
     "PRESETS",
     "TOPOLOGY_PRESETS",

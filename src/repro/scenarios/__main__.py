@@ -7,11 +7,17 @@ Examples::
     python -m repro.scenarios --scenario churn --trials 8 --workers 4 --seed 7
     python -m repro.scenarios --scenario all --trials 4 --workers 8 \
         --scale quick --out benchmarks/out/scenarios.json
+    python -m repro.scenarios --scenario all --trials 25 --workers 8 \
+        --shards 4 --checkpoint-dir benchmarks/out/checkpoints --resume
 
 The aggregated JSON is deterministic for a given (scenario, trials,
 seed, scale): it contains no timestamps, host details or worker
 counts, so ``--workers 1`` and ``--workers 8`` emit identical bytes —
-the property the regression tests pin.
+the property the regression tests pin.  The same holds across shard
+counts and interrupt/resume cycles: with ``--checkpoint-dir`` every
+finished shard is persisted atomically, and ``--resume`` replays the
+matching checkpoints, so a killed sweep picks up from the last
+finished shard and still emits byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -20,9 +26,14 @@ import argparse
 import json
 import sys
 
+from repro.experiments.cliutil import (
+    add_fleet_arguments,
+    make_runner,
+    report_fleet_stop,
+)
 from repro.experiments.scale import PROFILES, current_profile
+from repro.scenarios.fleet import FleetStop
 from repro.scenarios.presets import PRESETS, get_preset, preset_names
-from repro.scenarios.runner import TrialRunner
 from repro.schemes import available_schemes, get_scheme
 
 
@@ -63,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered coding schemes (capabilities, knobs) and exit",
     )
+    add_fleet_arguments(parser)
     return parser
 
 
@@ -89,6 +101,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.trials < 1:
         parser.error(f"--trials must be >= 1, got {args.trials}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.stop_after_shards is not None and args.stop_after_shards < 1:
+        parser.error(
+            f"--stop-after-shards must be >= 1, got {args.stop_after_shards}"
+        )
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.stop_after_shards is not None and args.checkpoint_dir is None:
+        parser.error("--stop-after-shards requires --checkpoint-dir")
     if args.scenario != "all" and args.scenario not in PRESETS:
         catalogue = ", ".join(preset_names())
         parser.error(
@@ -105,20 +127,21 @@ def main(argv: list[str] | None = None) -> int:
     names = (
         list(preset_names()) if args.scenario == "all" else [args.scenario]
     )
-    runner = TrialRunner(n_workers=args.workers)
+    runner = make_runner(args)
     scenarios = [get_preset(name, profile) for name in names]
-    aggregates = runner.run_grid(scenarios, args.trials, args.seed)
+    try:
+        aggregates = runner.run_grid(scenarios, args.trials, args.seed)
+    except FleetStop as stop:
+        return report_fleet_stop(stop, args.checkpoint_dir)
     if len(names) == 1:
         payload = aggregates[names[0]].to_dict()
     else:
         payload = {name: aggregates[name].to_dict() for name in names}
     text = json.dumps(payload, sort_keys=True, indent=2)
     if args.out:
-        import pathlib
+        from repro.scenarios.aggregate import atomic_write_text
 
-        out = pathlib.Path(args.out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(text + "\n")
+        out = atomic_write_text(args.out, text + "\n")
         print(f"wrote {out}", file=sys.stderr)
     print(text)
     return 0

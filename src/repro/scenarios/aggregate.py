@@ -15,13 +15,41 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import pathlib
+import tempfile
 
 from repro.errors import SimulationError
 from repro.gossip.metrics import DisseminationResult
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["ScenarioAggregate", "summary_stats"]
+__all__ = ["ScenarioAggregate", "atomic_write_text", "summary_stats"]
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    A crash mid-write must never leave a truncated file behind: a
+    checkpoint resume (or any reader of ``benchmarks/out/``) would then
+    trust corrupt JSON.  The temp file lives in the destination
+    directory so the final rename is atomic on POSIX filesystems.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 #: z-score of the two-sided 95 % confidence interval (normal approx.,
 #: matching the paper's 25-repetition averages).
@@ -70,6 +98,21 @@ class ScenarioAggregate:
         record.update(result.key_metrics())
         self.trials.append(record)
 
+    def add_record(self, record: dict[str, object]) -> None:
+        """Fold one already-flattened trial record into the aggregate.
+
+        This is the resume path: checkpointed shards store the exact
+        per-trial records, so replaying them must not re-run the
+        simulation.  The record needs at least ``trial_index`` and
+        ``seed``; everything else is treated as a scalar metric.
+        """
+        if "trial_index" not in record or "seed" not in record:
+            raise SimulationError(
+                "trial record needs 'trial_index' and 'seed' keys, got "
+                f"{sorted(record)}"
+            )
+        self.trials.append(dict(record))
+
     def merge(self, other: "ScenarioAggregate") -> None:
         """Fold *other* (same scenario, disjoint trials) into this one."""
         if other.scenario != self.scenario:
@@ -100,14 +143,27 @@ class ScenarioAggregate:
         return [t.get(metric) for t in self.trials]  # type: ignore[misc]
 
     def metrics_summary(self) -> dict[str, dict[str, float | int | None]]:
-        """Mean/CI/min/max for every scalar metric, over all trials."""
+        """Mean/CI/min/max for every scalar metric, over all trials.
+
+        The metric list is the **union** of keys across all trials, not
+        trial 0's keys: after :meth:`merge` re-sorts heterogeneous
+        shards (e.g. per-content ``content:<name>:*`` keys present only
+        in some trials), a metric absent from trial 0 must still be
+        summarised.  Keys come out in first-seen order over the
+        index-sorted trials, so the summary is deterministic regardless
+        of merge order.
+        """
         if not self.trials:
             return {}
-        metrics = [
-            key
-            for key in self.trials[0]
-            if key not in ("trial_index", "seed")
-        ]
+        metrics: list[str] = []
+        seen = {"trial_index", "seed"}
+        for trial in sorted(
+            self.trials, key=lambda t: t["trial_index"]  # type: ignore[arg-type,return-value]
+        ):
+            for key in trial:
+                if key not in seen:
+                    seen.add(key)
+                    metrics.append(key)
         return {m: summary_stats(self.metric_values(m)) for m in metrics}
 
     def to_dict(self) -> dict[str, object]:
@@ -126,11 +182,12 @@ class ScenarioAggregate:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     def write_json(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Persist the aggregate under e.g. ``benchmarks/out/``."""
-        path = pathlib.Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Persist the aggregate under e.g. ``benchmarks/out/``.
+
+        Writes atomically: a crash mid-write leaves either the old file
+        or the new one, never a truncated hybrid a resume would trust.
+        """
+        return atomic_write_text(path, self.to_json() + "\n")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

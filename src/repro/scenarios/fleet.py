@@ -1,0 +1,370 @@
+"""Sharded trial fleet: partition, dispatch, checkpoint, resume.
+
+The paper's headline numbers are 25-repetition averages of N = 1,000
+node simulations; reproducing them (and the 1000-trial sweeps the
+related LT-code systems run) needs sweeps that survive interruption.
+This module grows the :class:`~repro.scenarios.runner.TrialRunner`
+model into a fleet:
+
+* :func:`plan_shards` partitions a scenario × seed grid into
+  contiguous, balanced shards (the unit of checkpointing);
+* :class:`FleetRunner` runs each shard on the worker pool with chunked
+  dispatch (:func:`~repro.scenarios.runner.parallel_map`), streams the
+  per-trial records into mergeable
+  :class:`~repro.scenarios.aggregate.ScenarioAggregate` objects, and —
+  given a checkpoint directory — persists every finished shard
+  atomically so an interrupted sweep resumes from the last finished
+  shard;
+* :class:`CheckpointStore` owns the on-disk format (one JSON file per
+  shard, fingerprinted against the exact grid that produced it, never
+  trusted when stale, corrupt or truncated).
+
+Contracts, pinned by ``tests/test_fleet.py``: the aggregated JSON is
+byte-identical across worker counts, shard counts, and
+interrupt/resume cycles — a resumed sweep serialises exactly like an
+uninterrupted one, because checkpoints store the exact per-trial
+records (plain JSON scalars, which round-trip losslessly) rather than
+re-running anything.
+
+Checkpoint file format (``shard-<scenario>-<index>.json``)::
+
+    {
+      "format": "ltnc-fleet-checkpoint",
+      "version": 1,
+      "fingerprint": "<sha256 of the canonical grid description>",
+      "scenario": {<ScenarioSpec.to_dict()>},
+      "master_seed": 7,
+      "shard_index": 0,
+      "n_shards": 4,
+      "trial_indices": [0, 1, 2],
+      "trials": [{"trial_index": 0, "seed": ..., <key metrics>}, ...]
+    }
+
+The fingerprint covers the scenario specs (order-insensitive), trial
+count, master seed and shard count, so a checkpoint is only ever
+replayed into the identical grid it was cut from; anything else is
+silently recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.scenarios.aggregate import ScenarioAggregate, atomic_write_text
+from repro.scenarios.runner import (
+    TrialSpec,
+    parallel_map,
+    run_trial,
+    trial_seed,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "FleetRunner",
+    "FleetStop",
+    "ShardSpec",
+    "grid_fingerprint",
+    "plan_shards",
+]
+
+CHECKPOINT_FORMAT = "ltnc-fleet-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class FleetStop(Exception):
+    """Raised when a fleet run stops early (``stop_after_shards``).
+
+    Completed shards are already checkpointed; the exception carries
+    how far the sweep got so CLIs can tell the user what to resume.
+    """
+
+    def __init__(self, completed_shards: int, total_shards: int) -> None:
+        self.completed_shards = completed_shards
+        self.total_shards = total_shards
+        super().__init__(
+            f"stopped after {completed_shards}/{total_shards} shards"
+        )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One checkpointable slice of a scenario × seed grid."""
+
+    scenario: ScenarioSpec
+    shard_index: int
+    n_shards: int
+    trial_indices: tuple[int, ...]
+    master_seed: int
+
+    def trials(self) -> list[TrialSpec]:
+        """The executable trials of this shard (seed-tree derived)."""
+        return [
+            TrialSpec(
+                self.scenario,
+                i,
+                trial_seed(self.master_seed, self.scenario.name, i),
+            )
+            for i in self.trial_indices
+        ]
+
+
+def plan_shards(
+    scenarios: Sequence[ScenarioSpec],
+    n_trials: int,
+    master_seed: int,
+    n_shards: int,
+) -> list[ShardSpec]:
+    """Partition the grid into balanced, contiguous per-scenario shards.
+
+    Every scenario's ``range(n_trials)`` splits into
+    ``min(n_shards, n_trials)`` chunks whose sizes differ by at most
+    one; the plan is a pure function of its arguments, so two runs (or
+    an interrupted run and its resume) agree on shard boundaries.
+    """
+    if n_trials < 1:
+        raise SimulationError(f"n_trials must be >= 1, got {n_trials}")
+    if n_shards < 1:
+        raise SimulationError(f"n_shards must be >= 1, got {n_shards}")
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise SimulationError(f"duplicate scenario names in grid: {names}")
+    shards: list[ShardSpec] = []
+    for scenario in scenarios:
+        m = min(n_shards, n_trials)
+        for j in range(m):
+            lo = j * n_trials // m
+            hi = (j + 1) * n_trials // m
+            shards.append(
+                ShardSpec(
+                    scenario=scenario,
+                    shard_index=j,
+                    n_shards=n_shards,
+                    trial_indices=tuple(range(lo, hi)),
+                    master_seed=master_seed,
+                )
+            )
+    return shards
+
+
+def grid_fingerprint(
+    scenarios: Sequence[ScenarioSpec],
+    n_trials: int,
+    master_seed: int,
+    n_shards: int,
+) -> str:
+    """SHA-256 of the canonical grid description.
+
+    Scenario dicts are keyed by name (order-insensitive: reordering
+    ``--scenario all`` between runs must not orphan checkpoints), and
+    the shard count is included so checkpoints cut on one shard plan
+    are never spliced into another.
+    """
+    canonical = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "scenarios": {s.name: s.to_dict() for s in scenarios},
+        "n_trials": n_trials,
+        "master_seed": master_seed,
+        "n_shards": n_shards,
+    }
+    blob = json.dumps(canonical, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe scenario label for checkpoint filenames."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "scenario"
+
+
+class CheckpointStore:
+    """One JSON file per finished shard, written atomically.
+
+    ``load`` is paranoid by design: a checkpoint is replayed only when
+    its format, version, fingerprint, shard identity and trial indices
+    all match the live plan — a truncated, hand-edited or stale file
+    simply means the shard is recomputed.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, shard: ShardSpec) -> pathlib.Path:
+        return (
+            self.directory
+            / f"shard-{_slug(shard.scenario.name)}-{shard.shard_index:04d}.json"
+        )
+
+    def save(
+        self,
+        shard: ShardSpec,
+        fingerprint: str,
+        records: list[dict[str, object]],
+    ) -> pathlib.Path:
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "scenario": shard.scenario.to_dict(),
+            "master_seed": shard.master_seed,
+            "shard_index": shard.shard_index,
+            "n_shards": shard.n_shards,
+            "trial_indices": list(shard.trial_indices),
+            "trials": records,
+        }
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        return atomic_write_text(self.path_for(shard), text)
+
+    def load(
+        self, shard: ShardSpec, fingerprint: str
+    ) -> list[dict[str, object]] | None:
+        """The shard's trial records, or ``None`` if not reusable."""
+        path = self.path_for(shard)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if (
+            payload.get("format") != CHECKPOINT_FORMAT
+            or payload.get("version") != CHECKPOINT_VERSION
+            or payload.get("fingerprint") != fingerprint
+            or payload.get("shard_index") != shard.shard_index
+            or payload.get("master_seed") != shard.master_seed
+            or payload.get("trial_indices") != list(shard.trial_indices)
+        ):
+            return None
+        trials = payload.get("trials")
+        if not isinstance(trials, list) or not all(
+            isinstance(t, dict) for t in trials
+        ):
+            return None
+        if [t.get("trial_index") for t in trials] != list(shard.trial_indices):
+            return None
+        return trials
+
+
+class FleetRunner:
+    """Sharded, checkpointing counterpart of :class:`TrialRunner`.
+
+    Shards run sequentially; within a shard, trials fan out over the
+    worker pool with chunked dispatch.  With ``checkpoint_dir`` set,
+    every finished shard is persisted atomically; with ``resume=True``
+    matching checkpoints are replayed instead of recomputed.  The
+    aggregated JSON is byte-identical to a serial
+    :class:`TrialRunner` run for any ``(n_workers, n_shards)`` and any
+    interrupt/resume history.
+
+    ``n_shards=None`` picks 1 without checkpointing (one pool dispatch,
+    like :class:`TrialRunner`) and ``min(n_trials, max(4, n_workers))``
+    with it, so shards are coarse enough to keep the pool busy but fine
+    enough that an interrupt loses little work.
+
+    ``stop_after_shards`` is a deterministic interruption hook (used by
+    the CI resume smoke): after *executing* that many shards (replayed
+    checkpoints don't count), the runner checkpoints what it has and
+    raises :class:`FleetStop`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        n_shards: int | None = None,
+        checkpoint_dir: str | pathlib.Path | None = None,
+        resume: bool = False,
+        stop_after_shards: int | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
+        if n_shards is not None and n_shards < 1:
+            raise SimulationError(f"n_shards must be >= 1, got {n_shards}")
+        if stop_after_shards is not None and stop_after_shards < 1:
+            raise SimulationError(
+                f"stop_after_shards must be >= 1, got {stop_after_shards}"
+            )
+        if resume and checkpoint_dir is None:
+            raise SimulationError("resume=True requires a checkpoint_dir")
+        self.n_workers = n_workers
+        self.n_shards = n_shards
+        self.store = (
+            CheckpointStore(checkpoint_dir)
+            if checkpoint_dir is not None
+            else None
+        )
+        self.resume = resume
+        self.stop_after_shards = stop_after_shards
+
+    # ------------------------------------------------------------------
+    def _resolve_shards(self, n_trials: int) -> int:
+        if self.n_shards is not None:
+            return self.n_shards
+        if self.store is None:
+            return 1
+        return min(n_trials, max(4, self.n_workers))
+
+    def run(
+        self, scenario: ScenarioSpec, n_trials: int, master_seed: int = 0
+    ) -> ScenarioAggregate:
+        """Run one scenario's trial grid through the fleet."""
+        return self.run_grid([scenario], n_trials, master_seed)[scenario.name]
+
+    def run_grid(
+        self,
+        scenarios: Iterable[ScenarioSpec],
+        n_trials: int,
+        master_seed: int = 0,
+    ) -> dict[str, ScenarioAggregate]:
+        """Run a whole scenario catalogue; one aggregate per scenario."""
+        scenario_list = list(scenarios)
+        n_shards = self._resolve_shards(n_trials)
+        shards = plan_shards(scenario_list, n_trials, master_seed, n_shards)
+        fingerprint = grid_fingerprint(
+            scenario_list, n_trials, master_seed, n_shards
+        )
+        aggregates = {
+            s.name: ScenarioAggregate(s, master_seed) for s in scenario_list
+        }
+        executed = 0
+        for position, shard in enumerate(shards):
+            records = None
+            if self.store is not None and self.resume:
+                records = self.store.load(shard, fingerprint)
+            if records is None:
+                records = self._execute_shard(shard, fingerprint)
+                executed += 1
+            for record in records:
+                aggregates[shard.scenario.name].add_record(record)
+            if (
+                self.stop_after_shards is not None
+                and executed >= self.stop_after_shards
+                and position + 1 < len(shards)
+            ):
+                raise FleetStop(position + 1, len(shards))
+        return aggregates
+
+    def _execute_shard(
+        self, shard: ShardSpec, fingerprint: str
+    ) -> list[dict[str, object]]:
+        """Run one shard on the pool; checkpoint before returning."""
+        trials = shard.trials()
+        results = parallel_map(run_trial, trials, self.n_workers)
+        records: list[dict[str, object]] = []
+        for trial, result in zip(trials, results):
+            record: dict[str, object] = {
+                "trial_index": trial.trial_index,
+                "seed": trial.seed,
+            }
+            record.update(result.key_metrics())
+            records.append(record)
+        if self.store is not None:
+            self.store.save(shard, fingerprint, records)
+        return records

@@ -29,10 +29,39 @@ from repro.rng import derive_seed
 from repro.scenarios.aggregate import ScenarioAggregate
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["TrialSpec", "TrialRunner", "parallel_map", "run_trial", "trial_seed"]
+__all__ = [
+    "TrialSpec",
+    "TrialRunner",
+    "default_chunksize",
+    "parallel_map",
+    "run_trial",
+    "trial_seed",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Chunked dispatch targets this many chunks per worker, so the pool
+#: load-balances (stragglers don't serialise the tail) without paying
+#: one IPC round-trip per trial.
+_CHUNKS_PER_WORKER = 4
+#: Ceiling on the chunk size: past this, a lost worker re-runs too much
+#: work and progress reporting gets too coarse.
+_MAX_CHUNKSIZE = 32
+
+
+def default_chunksize(n_items: int, n_workers: int) -> int:
+    """Size-aware dispatch chunking for :func:`parallel_map`.
+
+    Aims for :data:`_CHUNKS_PER_WORKER` chunks per worker (clamped to
+    [1, :data:`_MAX_CHUNKSIZE`]): big grids amortise the pickle/IPC
+    round-trip that ``chunksize=1`` paid per trial, small grids still
+    spread across every worker.
+    """
+    if n_items <= 0 or n_workers <= 0:
+        return 1
+    chunk = -(-n_items // (n_workers * _CHUNKS_PER_WORKER))  # ceil div
+    return max(1, min(chunk, _MAX_CHUNKSIZE))
 
 
 @dataclass(frozen=True)
@@ -58,20 +87,39 @@ def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
     n_workers: int = 1,
+    chunksize: int | None = None,
 ) -> list[_R]:
     """Order-preserving map, serially or over worker processes.
 
     *fn* must be a module-level (picklable) callable when
     ``n_workers > 1``.  Results come back in submission order, so the
-    caller's aggregation is invariant to the worker count.
+    caller's aggregation is invariant to the worker count (and to the
+    chunk size, which only batches dispatch).  ``chunksize=None``
+    applies :func:`default_chunksize`.
+
+    A ``KeyboardInterrupt`` (Ctrl-C on a long sweep) cancels every
+    pending future and shuts the pool down instead of leaving orphaned
+    workers grinding through the rest of the grid; the interrupt is
+    then re-raised so the caller (e.g. the fleet runner) can surface
+    its checkpoint state.
     """
     if n_workers < 1:
         raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
+    if chunksize is not None and chunksize < 1:
+        raise SimulationError(f"chunksize must be >= 1, got {chunksize}")
     if n_workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     workers = min(n_workers, len(items))
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), workers)
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(fn, items, chunksize=1))
+        try:
+            return list(executor.map(fn, items, chunksize=chunksize))
+        except KeyboardInterrupt:
+            # Drop everything not yet dispatched; the context manager's
+            # final shutdown(wait=True) then only joins in-flight work.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 class TrialRunner:

@@ -23,6 +23,13 @@ BAD_ARGS = [
     (["--trials", "0"], "--trials must be >= 1"),
     (["--trials", "-3"], "--trials must be >= 1"),
     (["--scale", "nope"], "unknown scale 'nope'"),
+    (["--shards", "0"], "--shards must be >= 1"),
+    (["--stop-after-shards", "0"], "--stop-after-shards must be >= 1"),
+    (["--resume"], "--resume requires --checkpoint-dir"),
+    (
+        ["--stop-after-shards", "2"],
+        "--stop-after-shards requires --checkpoint-dir",
+    ),
 ]
 
 
@@ -56,3 +63,28 @@ def test_scheme_compare_rejects_unknown_scheme(capsys):
     err = capsys.readouterr().err
     assert "unknown scheme 'nope'" in err
     assert "Traceback" not in err
+
+
+@pytest.mark.parametrize("driver", sorted(DRIVERS))
+def test_sweep_cli_checkpoint_stop_and_resume(
+    capsys, driver, tmp_path, monkeypatch
+):
+    # Every sweep driver supports the fleet flags: stopping early exits
+    # with status 3 and leaves checkpoints; resuming completes and
+    # prints the same table as an uninterrupted run.
+    monkeypatch.setenv("LTNC_SCALE", "quick")
+    base = ["--trials", "2", "--seed", "7"]
+    if driver == "scheme_compare":
+        base += ["--schemes", "wc", "rlnc"]
+    assert DRIVERS[driver](base) == 0
+    golden = capsys.readouterr().out
+
+    ckpt = str(tmp_path / driver)
+    fleet = base + ["--shards", "2", "--checkpoint-dir", ckpt]
+    assert DRIVERS[driver](fleet + ["--stop-after-shards", "1"]) == 3
+    captured = capsys.readouterr()
+    assert "rerun with --resume" in captured.err
+    assert len(list((tmp_path / driver).iterdir())) == 1
+
+    assert DRIVERS[driver](fleet + ["--resume"]) == 0
+    assert capsys.readouterr().out == golden

@@ -11,6 +11,7 @@ from repro.experiments.perfbench import (
     bench_bitvector_ops,
     bench_decode,
     bench_end_to_end,
+    bench_fleet,
     bench_rref_insert_reduce,
     main,
     run_perfbench,
@@ -41,6 +42,15 @@ def test_end_to_end_bench_completes_scenario():
     entry = bench_end_to_end("rlnc", n_nodes=6, k=8, seed=5)
     assert entry["all_complete"]
     assert entry["rounds"] >= 1 and entry["rounds_per_sec"] > 0
+
+
+def test_fleet_bench_reports_throughput():
+    entry = bench_fleet(
+        n_trials=6, n_nodes=6, k=8, seed=5, n_workers=1, n_shards=3
+    )
+    assert entry["n_trials"] == 6 and entry["n_shards"] == 3
+    assert entry["trials_per_sec"] > 0
+    assert entry["completed_fraction"] == 1.0
 
 
 def test_run_perfbench_quick_schema_and_validation(tmp_path):
@@ -77,6 +87,14 @@ def test_validate_bench_rejects_broken_reports():
     del missing["end_to_end"]
     with pytest.raises(ValueError, match="end_to_end"):
         validate_bench(missing)
+    no_fleet = json.loads(json.dumps(report))
+    del no_fleet["fleet"]
+    with pytest.raises(ValueError, match="fleet section missing"):
+        validate_bench(no_fleet)
+    slow_fleet = json.loads(json.dumps(report))
+    slow_fleet["fleet"]["trials_per_sec"] = 0
+    with pytest.raises(ValueError, match="fleet.trials_per_sec"):
+        validate_bench(slow_fleet)
     with pytest.raises(ValueError, match="unknown profile"):
         run_perfbench(profile="nope")
 
