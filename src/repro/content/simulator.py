@@ -44,6 +44,7 @@ from repro.generations.manager import (
 )
 from repro.gossip.channel import ChannelModel
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
+from repro.obs.tracer import NULL_TRACER
 from repro.rng import derive
 from repro.schemes import resolve
 
@@ -179,6 +180,7 @@ class CatalogueSimulator:
         node_kwargs: dict[str, object] | None = None,
         sampler: PeerSampler | None = None,
         channel: ChannelModel | None = None,
+        tracer=None,
     ) -> None:
         if not catalogue:
             raise SimulationError("catalogue must hold at least one content")
@@ -264,6 +266,31 @@ class CatalogueSimulator:
             tuple(sorted(set(self.interest_index[c]) | set(self.caches)))
             or tuple(range(n_nodes))
             for c in range(self.n_contents)
+        )
+        # Observability: one null-tracer default; selection happens once
+        # so the disabled hot paths carry no extra branching.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = bool(self.tracer.enabled)
+        self._transfer_fn = (
+            self._transfer_traced
+            if self._trace and self.tracer.detail == "session"
+            else self._transfer
+        )
+        self._trace_completed: set[tuple[int, int]] = set()
+        self._trace_prev = dict.fromkeys(
+            (
+                "sessions",
+                "aborted",
+                "unwanted",
+                "useful_transfers",
+                "redundant_transfers",
+                "lost_transfers",
+                "cache_served",
+                "cache_stored",
+                "cache_evictions",
+                "cache_rejects",
+            ),
+            0,
         )
 
     # ------------------------------------------------------------------
@@ -425,6 +452,38 @@ class CatalogueSimulator:
             result.completion_rounds[pair] = round_index
             result.data_until_complete[pair] = self._data_received[pair]
 
+    def _transfer_traced(
+        self,
+        sender_endpoint: _Endpoint,
+        sender_id: int,
+        sender_serves_from_cache: bool,
+        receiver_id: int,
+        content_index: int,
+        round_index: int,
+    ) -> None:
+        """The plain transfer plus one ``session`` trace event."""
+        result = self.result
+        before_aborted = result.aborted
+        before_useful = result.useful_transfers
+        self._transfer(
+            sender_endpoint,
+            sender_id,
+            sender_serves_from_cache,
+            receiver_id,
+            content_index,
+            round_index,
+        )
+        self.tracer.event(
+            "session",
+            round=round_index,
+            sender=sender_id,
+            receiver=receiver_id,
+            content=content_index,
+            from_cache=sender_serves_from_cache,
+            aborted=result.aborted > before_aborted,
+            useful=result.useful_transfers > before_useful,
+        )
+
     def _cache_commit(self, node_id: int, content_index: int) -> None:
         """Account a delivered non-interest packet against the cache."""
         cache = self.caches[node_id]
@@ -437,7 +496,7 @@ class CatalogueSimulator:
         self.result.cache_evictions += len(evicted)
 
     # ------------------------------------------------------------------
-    def _churn(self) -> None:
+    def _churn(self, round_index: int = -1) -> None:
         """Crash-and-restart one node with incomplete interests.
 
         Mirroring the single-content simulator's "completed nodes are
@@ -457,6 +516,8 @@ class CatalogueSimulator:
             return
         victim = int(incomplete[self._fault_rng.integers(len(incomplete))])
         self.result.churn_events += 1
+        if self._trace:
+            self.tracer.event("churn", round=round_index, node=victim)
         self._epoch[victim] += 1
         book = self._endpoints[victim]
         persisted = {
@@ -481,7 +542,8 @@ class CatalogueSimulator:
     def step(self, round_index: int) -> None:
         """Run one gossip period."""
         if self.channel.churns(self._fault_rng, round_index):
-            self._churn()
+            self._churn(round_index)
+        transfer = self._transfer_fn
         # Origin injection: request-driven, content then target.
         for source in self._sources:
             for _ in range(self.source_pushes):
@@ -490,7 +552,7 @@ class CatalogueSimulator:
                 target = int(
                     targets[self._order_rng.integers(len(targets))]
                 )
-                self._transfer(
+                transfer(
                     source[content], -1, False, target, content, round_index
                 )
         # Node pushes, in random order, one content per node per round.
@@ -503,7 +565,7 @@ class CatalogueSimulator:
             content = int(ready[self._order_rng.integers(len(ready))])
             (target,) = self.sampler.peers(sender_id, 1, round_index)
             from_cache = not self.wants(sender_id, content)
-            self._transfer(
+            transfer(
                 self._endpoints[sender_id][content],
                 sender_id,
                 from_cache,
@@ -513,10 +575,60 @@ class CatalogueSimulator:
             )
         self.result.record_round(round_index)
 
+    def _trace_round(self, round_index: int) -> None:
+        """Emit the per-round event and per-pair completion events."""
+        result = self.result
+        prev = self._trace_prev
+        self.tracer.event(
+            "round",
+            round=round_index,
+            completed_pairs=len(result.completion_rounds),
+            pairs_total=result.n_pairs,
+            sessions=result.sessions - prev["sessions"],
+            aborted=result.aborted - prev["aborted"],
+            unwanted=result.unwanted - prev["unwanted"],
+            useful=result.useful_transfers - prev["useful_transfers"],
+            redundant=(
+                result.redundant_transfers - prev["redundant_transfers"]
+            ),
+            lost=result.lost_transfers - prev["lost_transfers"],
+            cache_served=result.cache_served - prev["cache_served"],
+            cache_stored=result.cache_stored - prev["cache_stored"],
+            cache_evictions=(
+                result.cache_evictions - prev["cache_evictions"]
+            ),
+            cache_rejects=result.cache_rejects - prev["cache_rejects"],
+        )
+        for key in prev:
+            prev[key] = getattr(result, key)
+        for pair, completed_at in result.completion_rounds.items():
+            if pair not in self._trace_completed:
+                self._trace_completed.add(pair)
+                self.tracer.event(
+                    "complete",
+                    round=completed_at,
+                    content=pair[0],
+                    node=pair[1],
+                )
+
     def run(self) -> CatalogueResult:
         """Run rounds until every interest pair decoded, or the horizon."""
-        for round_index in range(self.max_rounds):
-            self.step(round_index)
-            if self.result.all_complete:
-                break
-        return self.result
+        trace = self._trace
+        tracer = self.tracer
+        result = self.result
+        try:
+            for round_index in range(self.max_rounds):
+                self.step(round_index)
+                if trace:
+                    self._trace_round(round_index)
+                if result.all_complete:
+                    break
+            if trace:
+                tracer.counter("sessions", result.sessions)
+                tracer.counter("aborted", result.aborted)
+                tracer.counter("data_transfers", result.data_transfers)
+                tracer.counter("cache_served", result.cache_served)
+                tracer.counter("churn_events", result.churn_events)
+        finally:
+            tracer.close()
+        return result

@@ -34,6 +34,7 @@ simulator treats all three schemes uniformly.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.gf2.bitvec import BitVector
 from repro.lt.decoder import BeliefPropagationDecoder
 from repro.lt.distributions import DegreeDistribution, RobustSoliton
 from repro.lt.tanner import TannerListener
+from repro.obs import profiler as _obs_profiler
 from repro.rng import make_rng
 
 __all__ = ["LtncStats", "LtncNode"]
@@ -383,6 +385,10 @@ class LtncNode:
         self.stats.deviation_sum += built.relative_deviation
         support, payload = built.support, built.payload
         if self.refine:
+            # Phase-profiling hook (repro.obs): None except during a
+            # profiled run, so the disabled cost is one attribute read.
+            prof = _obs_profiler.REFINE_PROFILER
+            t0 = time.perf_counter() if prof is not None else 0.0
             refined = refine_packet(
                 support,
                 payload,
@@ -392,6 +398,8 @@ class LtncNode:
                 self.recode_counter,
                 scan_limit=self.scan_limit,
             )
+            if prof is not None:
+                prof.add("refine", time.perf_counter() - t0)
             support, payload = refined.support, refined.payload
             self.stats.substitutions += len(refined.substitutions)
         return self._finish_packet(support, payload)

@@ -21,8 +21,12 @@ import sys
 __all__ = [
     "add_runner_arguments",
     "add_fleet_arguments",
+    "add_obs_arguments",
     "validate_runner_arguments",
+    "apply_obs",
     "make_runner",
+    "obs_from_args",
+    "progress_printer",
     "resolve_profile",
     "comparison_rows",
     "print_table",
@@ -53,6 +57,7 @@ def add_runner_arguments(
         "--out", default=None, help="also write the aggregate JSON here"
     )
     add_fleet_arguments(parser)
+    add_obs_arguments(parser)
 
 
 def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +91,67 @@ def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability knobs (tracing and live progress)."""
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write one JSONL trace file per trial here "
+        "(see python -m repro.experiments.tracestats)",
+    )
+    parser.add_argument(
+        "--trace-detail",
+        choices=("round", "session"),
+        default=None,
+        help="trace granularity (default: round; requires --trace-dir)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one live progress line per finished shard to stderr",
+    )
+
+
+def obs_from_args(args: argparse.Namespace):
+    """The :class:`~repro.obs.ObsSpec` the CLI's flags ask for, or None.
+
+    Observability config is host-local plumbing: it is applied to the
+    specs with ``with_(obs=...)`` *after* serialisation-relevant
+    construction, and ``ScenarioSpec.to_dict()`` excludes it, so traced
+    and untraced runs emit byte-identical aggregate JSON.
+    """
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None:
+        return None
+    from repro.obs import ObsSpec
+
+    return ObsSpec(
+        trace_dir=trace_dir,
+        detail=getattr(args, "trace_detail", None) or "round",
+    )
+
+
+def apply_obs(scenarios: list, args: argparse.Namespace) -> list:
+    """Stamp the CLI's observability config onto every scenario spec."""
+    obs = obs_from_args(args)
+    if obs is None:
+        return scenarios
+    return [s.with_(obs=obs) for s in scenarios]
+
+
+def progress_printer(args: argparse.Namespace):
+    """A stderr progress callback when ``--progress`` is set, else None."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs import render_progress
+
+    def _print(beat) -> None:
+        print(render_progress(beat), file=sys.stderr)
+
+    return _print
+
+
 def validate_runner_arguments(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> None:
@@ -105,6 +171,11 @@ def validate_runner_arguments(
         parser.error("--resume requires --checkpoint-dir")
     if stop_after is not None and checkpoint_dir is None:
         parser.error("--stop-after-shards requires --checkpoint-dir")
+    if (
+        getattr(args, "trace_detail", None) is not None
+        and getattr(args, "trace_dir", None) is None
+    ):
+        parser.error("--trace-detail requires --trace-dir")
 
 
 def make_runner(args: argparse.Namespace):
@@ -122,6 +193,7 @@ def make_runner(args: argparse.Namespace):
         getattr(args, "shards", None) is None
         and getattr(args, "checkpoint_dir", None) is None
         and getattr(args, "stop_after_shards", None) is None
+        and not getattr(args, "progress", False)
     ):
         return TrialRunner(n_workers=args.workers)
     return FleetRunner(
@@ -130,6 +202,7 @@ def make_runner(args: argparse.Namespace):
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         stop_after_shards=args.stop_after_shards,
+        progress=progress_printer(args),
     )
 
 

@@ -60,6 +60,7 @@ def run_content_compare(
     profile=None,
     include_baseline: bool = True,
     runner=None,
+    obs=None,
 ) -> dict[str, ScenarioAggregate]:
     """Run the catalogue sweep; one aggregate per preset.
 
@@ -76,6 +77,8 @@ def run_content_compare(
     trials = n_trials if n_trials is not None else max(2, p.monte_carlo)
     names = (("baseline",) if include_baseline else ()) + tuple(presets)
     specs = [get_preset(name, p) for name in names]
+    if obs is not None:
+        specs = [s.with_(obs=obs) for s in specs]
     if runner is None:
         runner = TrialRunner(n_workers=n_workers)
     return runner.run_grid(specs, trials, master_seed=master_seed)
@@ -111,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=args.workers,
             profile=profile,
             runner=make_runner(args),
+            obs=cliutil.obs_from_args(args),
         )
     except FleetStop as stop:
         return report_fleet_stop(stop, args.checkpoint_dir)

@@ -19,7 +19,11 @@ diff against:
 * **fleet throughput** — a seed-pinned baseline trial grid through the
   sharded :class:`~repro.scenarios.fleet.FleetRunner` (chunked
   dispatch over a worker pool), reported as trials/sec — the number a
-  25-repetition, N = 1,000 paper-scale sweep divides by.
+  25-repetition, N = 1,000 paper-scale sweep divides by;
+* **phase breakdown** — the same end-to-end run per scheme under the
+  :class:`~repro.obs.PhaseProfiler`, splitting wall time into
+  sampling / channel / encode / decode / refine so an optimisation PR
+  can show *which* phase it moved, not just the aggregate rate.
 
 All workloads are seed-pinned, so the *work* is identical run to run
 and only wall-clock throughput varies with the host.  Run it with::
@@ -56,13 +60,16 @@ __all__ = [
     "bench_bitvector_ops",
     "bench_decode",
     "bench_end_to_end",
+    "bench_phases",
     "run_perfbench",
     "validate_bench",
     "main",
 ]
 
-#: v2 added the ``fleet`` section (sharded trial-grid throughput).
-SCHEMA_VERSION = 2
+#: v2 added the ``fleet`` section (sharded trial-grid throughput);
+#: v3 added the ``phases`` section (per-phase wall time through
+#: :class:`~repro.obs.PhaseProfiler`).
+SCHEMA_VERSION = 3
 DEFAULT_SEED = 2026
 KERNEL_KS: tuple[int, ...] = (32, 64, 128, 256)
 DEFAULT_OUT = "BENCH_ltnc.json"
@@ -247,6 +254,51 @@ def bench_end_to_end(
     }
 
 
+def bench_phases(
+    scheme: str, n_nodes: int, k: int, seed: int
+) -> dict[str, object]:
+    """Per-phase wall time of one seeded epidemic dissemination.
+
+    Re-runs the :func:`bench_end_to_end` workload (same scheme, sizes
+    and seed, hence the identical rng stream and round count) with a
+    :class:`~repro.obs.PhaseProfiler` attached, and reports seconds and
+    call counts per phase — sampling / channel / encode / decode, plus
+    the LTNC-only refine slice (a subset of encode, not additive).
+    ``measured_fraction`` says how much of the wall clock the phase
+    brackets account for; the remainder is loop scaffolding.
+    """
+    from repro.gossip.simulator import EpidemicSimulator
+    from repro.obs import PhaseProfiler
+
+    profiler = PhaseProfiler()
+    sim = EpidemicSimulator(
+        scheme,
+        n_nodes=n_nodes,
+        k=k,
+        seed=seed,
+        max_rounds=200_000,
+        profiler=profiler,
+    )
+    t0 = time.perf_counter()
+    result = sim.run()
+    seconds = time.perf_counter() - t0
+    # refine is a subset of encode: exclude it so measured_seconds is
+    # a genuine (non-double-counted) slice of the wall clock.
+    measured = sum(
+        s for phase, s in profiler.seconds.items() if phase != "refine"
+    )
+    return {
+        "n_nodes": n_nodes,
+        "k": k,
+        "rounds": result.rounds,
+        "all_complete": result.all_complete,
+        "seconds": round(seconds, 6),
+        "measured_seconds": round(measured, 6),
+        "measured_fraction": round(measured / seconds, 4) if seconds else 0.0,
+        "phases": profiler.snapshot(),
+    }
+
+
 def bench_fleet(
     n_trials: int,
     n_nodes: int,
@@ -334,6 +386,13 @@ def run_perfbench(
         for scheme in schemes
     }
 
+    phases = {
+        scheme: bench_phases(
+            scheme, sizes["e2e_nodes"], sizes["e2e_k"], seed
+        )
+        for scheme in schemes
+    }
+
     fleet = bench_fleet(
         sizes["fleet_trials"],
         sizes["fleet_nodes"],
@@ -363,6 +422,7 @@ def run_perfbench(
             "decode": decode,
         },
         "end_to_end": end_to_end,
+        "phases": phases,
         "fleet": fleet,
     }
 
@@ -407,6 +467,28 @@ def validate_bench(data: dict[str, object]) -> None:
                 errors.append(f"end_to_end[{scheme}].rounds_per_sec not positive")
             elif not entry.get("all_complete"):
                 errors.append(f"end_to_end[{scheme}] did not complete")
+    phases = data.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        errors.append("phases section missing or empty")
+    else:
+        for scheme, entry in phases.items():
+            table = entry.get("phases") if isinstance(entry, dict) else None
+            if not isinstance(table, dict) or not table:
+                errors.append(f"phases[{scheme}].phases missing or empty")
+                continue
+            for required in ("encode", "decode"):
+                cell = table.get(required)
+                if not isinstance(cell, dict) or cell.get("calls", 0) <= 0:
+                    errors.append(
+                        f"phases[{scheme}].phases.{required} missing or "
+                        "never called"
+                    )
+            if any(
+                cell.get("seconds", -1.0) < 0.0
+                for cell in table.values()
+                if isinstance(cell, dict)
+            ):
+                errors.append(f"phases[{scheme}] has a negative phase time")
     fleet = data.get("fleet")
     if not isinstance(fleet, dict):
         errors.append("fleet section missing")
@@ -465,6 +547,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"; fleet {fleet['trials_per_sec']} trials/s "
         f"({fleet['n_trials']}-trial grid, {fleet['n_shards']} shards)"
     )
+    ltnc = report["phases"].get("ltnc")
+    if ltnc:
+        table = ltnc["phases"]
+        enc = table.get("encode", {}).get("fraction", 0.0)
+        dec = table.get("decode", {}).get("fraction", 0.0)
+        line += f"; ltnc phases encode {enc:.0%} / decode {dec:.0%}"
     print(line)
     return 0
 

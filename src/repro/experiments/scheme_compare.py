@@ -79,6 +79,7 @@ def run_scheme_compare(
     n_workers: int = 1,
     profile=None,
     runner=None,
+    obs=None,
 ) -> dict[str, ScenarioAggregate]:
     """Run the registry sweep; one aggregate per scheme.
 
@@ -93,6 +94,8 @@ def run_scheme_compare(
     p = profile if profile is not None else current_profile()
     trials = n_trials if n_trials is not None else max(2, p.monte_carlo)
     specs = scheme_specs(schemes, p)
+    if obs is not None:
+        specs = [s.with_(obs=obs) for s in specs]
     if runner is None:
         runner = TrialRunner(n_workers=n_workers)
     return runner.run_grid(specs, trials, master_seed=master_seed)
@@ -146,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=args.workers,
             profile=profile,
             runner=make_runner(args),
+            obs=cliutil.obs_from_args(args),
         )
     except FleetStop as stop:
         return report_fleet_stop(stop, args.checkpoint_dir)

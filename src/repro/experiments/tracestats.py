@@ -1,0 +1,361 @@
+"""Trace analysis: replay ``ltnc-trace`` JSONL files into curves.
+
+The tracer (:mod:`repro.obs`) writes one JSONL file per traced trial;
+this module is its reader.  It validates the schema, then folds the
+records into the three views the paper's trajectory claims need:
+
+* **rank-vs-round curve** — decoding progress per gossip period
+  (``rank_total`` / ``rank_min`` / ``rank_max`` from the per-round
+  events), the x-axis of the §IV-B convergence argument;
+* **completion wave** — how many nodes (or catalogue interest pairs)
+  finished in each round, from the per-completion events;
+* **phase breakdown** — the profiler's sampling / channel / encode /
+  decode / refine split when the trace came from a profiled run.
+
+Library use::
+
+    from repro.experiments.tracestats import validate_trace, trace_summary
+    records = read_trace("traces/trace-baseline-2010.jsonl")
+    header = validate_trace(records)
+    summary = trace_summary(records)
+
+CLI use::
+
+    python -m repro.experiments.tracestats traces/*.jsonl
+    python -m repro.experiments.tracestats --validate traces/*.jsonl
+    python -m repro.experiments.tracestats --curve traces/trace-baseline-0.jsonl
+    python -m repro.experiments.tracestats --json out.json traces/*.jsonl
+
+``--validate`` checks schema only (exit 1 on the first invalid file) —
+the CI smoke step runs it over every trace the workflow produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Iterable, Sequence
+
+from repro.obs import (
+    PHASES,
+    TRACE_DETAILS,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    iter_events,
+    read_trace,
+)
+
+__all__ = [
+    "validate_trace",
+    "trace_summary",
+    "rank_curve",
+    "completion_wave",
+    "phase_breakdown",
+    "counter_totals",
+    "main",
+]
+
+#: Record kinds an ``ltnc-trace`` v1 file may contain.
+_KINDS = ("header", "event", "counter", "span")
+
+
+def validate_trace(
+    records: Sequence[dict[str, object]], source: str = "trace"
+) -> dict[str, object]:
+    """Check *records* against the ``ltnc-trace`` v1 schema.
+
+    Returns the header record on success; raises ``ValueError`` listing
+    every violation (prefixed with *source* for multi-file runs).  The
+    checks mirror what :mod:`repro.obs.tracer` emits: exactly one
+    header, first; known kinds only; named events/counters; numeric
+    non-negative timestamps; counters carry integer values.
+    """
+    errors: list[str] = []
+    if not records:
+        raise ValueError(f"{source}: empty trace (no records)")
+    header = records[0]
+    if header.get("kind") != "header":
+        errors.append("first record is not the header")
+        header = {}
+    else:
+        if header.get("format") != TRACE_FORMAT:
+            errors.append(
+                f"header.format {header.get('format')!r} != {TRACE_FORMAT!r}"
+            )
+        if header.get("version") != TRACE_VERSION:
+            errors.append(
+                f"header.version {header.get('version')!r} != {TRACE_VERSION}"
+            )
+        if header.get("detail") not in TRACE_DETAILS:
+            errors.append(
+                f"header.detail {header.get('detail')!r} not in "
+                f"{TRACE_DETAILS}"
+            )
+    for index, record in enumerate(records[1:], start=2):
+        kind = record.get("kind")
+        if kind == "header":
+            errors.append(f"record {index}: duplicate header")
+            continue
+        if kind not in _KINDS:
+            errors.append(f"record {index}: unknown kind {kind!r}")
+            continue
+        t = record.get("t")
+        if not isinstance(t, (int, float)) or t < 0:
+            errors.append(f"record {index}: bad timestamp {t!r}")
+        if not record.get("name"):
+            errors.append(f"record {index}: {kind} record has no name")
+        if kind == "counter" and not isinstance(record.get("value"), int):
+            errors.append(
+                f"record {index}: counter value "
+                f"{record.get('value')!r} is not an integer"
+            )
+        if kind == "span":
+            dt = record.get("dt")
+            if not isinstance(dt, (int, float)) or dt < 0:
+                errors.append(f"record {index}: bad span duration {dt!r}")
+    if errors:
+        raise ValueError(
+            f"{source}: invalid trace: " + "; ".join(errors)
+        )
+    return header
+
+
+# ----------------------------------------------------------------------
+# Views
+# ----------------------------------------------------------------------
+def rank_curve(
+    records: Iterable[dict[str, object]],
+) -> list[dict[str, object]]:
+    """Decoding progress per round, oldest first.
+
+    One row per ``round`` event: ``round``, ``completed`` (or
+    ``completed_pairs`` for catalogue traces), and the rank stats when
+    the simulator reported them.  Rows keep only the keys the trace
+    actually carried, so catalogue and wireless traces both work.
+    """
+    keys = (
+        "round",
+        "completed",
+        "completed_pairs",
+        "pairs_total",
+        "rank_total",
+        "rank_min",
+        "rank_max",
+    )
+    return [
+        {k: event[k] for k in keys if event.get(k) is not None}
+        for event in iter_events(records, "round")
+    ]
+
+
+def completion_wave(
+    records: Iterable[dict[str, object]],
+) -> dict[int, int]:
+    """``{round: completions}`` — how many finished in each round."""
+    wave: dict[int, int] = {}
+    for event in iter_events(records, "complete"):
+        round_index = event.get("round")
+        if isinstance(round_index, int):
+            wave[round_index] = wave.get(round_index, 0) + 1
+    return dict(sorted(wave.items()))
+
+
+def phase_breakdown(
+    records: Iterable[dict[str, object]],
+) -> dict[str, dict[str, float | int]] | None:
+    """The profiler's per-phase table, or ``None`` for unprofiled runs."""
+    events = iter_events(records, "phases")
+    if not events:
+        return None
+    table = events[-1].get("phases")
+    return table if isinstance(table, dict) else None
+
+
+def counter_totals(
+    records: Iterable[dict[str, object]],
+) -> dict[str, int]:
+    """Final value per counter name (last sample wins, in file order)."""
+    totals: dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "counter":
+            name = record.get("name")
+            value = record.get("value")
+            if isinstance(name, str) and isinstance(value, int):
+                totals[name] = value
+    return totals
+
+
+def trace_summary(
+    records: Sequence[dict[str, object]],
+) -> dict[str, object]:
+    """One JSON-able digest of a trace: header, curves, totals."""
+    header = records[0] if records else {}
+    curve = rank_curve(records)
+    wave = completion_wave(records)
+    return {
+        "scenario": header.get("scenario"),
+        "seed": header.get("seed"),
+        "detail": header.get("detail"),
+        "n_records": len(records),
+        "rounds": len(curve),
+        "completions": sum(wave.values()),
+        "rank_curve": curve,
+        "completion_wave": {str(k): v for k, v in wave.items()},
+        "phases": phase_breakdown(records),
+        "counters": counter_totals(records),
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _print_summary(path: pathlib.Path, summary: dict[str, object]) -> None:
+    counters = summary["counters"]
+    bits = [
+        f"{summary['scenario'] or path.name}",
+        f"seed={summary['seed']}",
+        f"detail={summary['detail']}",
+        f"rounds={summary['rounds']}",
+        f"completions={summary['completions']}",
+    ]
+    if counters:
+        bits.append(
+            "counters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    print("  ".join(bits))
+
+
+def _print_curve(summary: dict[str, object]) -> None:
+    curve = summary["rank_curve"]
+    if not curve:
+        print("  (no round events)")
+        return
+    keys = [
+        k
+        for k in (
+            "completed",
+            "completed_pairs",
+            "rank_total",
+            "rank_min",
+            "rank_max",
+        )
+        if any(k in row for row in curve)
+    ]
+    print("  " + "  ".join(["round"] + keys))
+    for row in curve:
+        cells = [f"{row.get('round', '?'):>5}"] + [
+            f"{row.get(k, ''):>{len(k)}}" for k in keys
+        ]
+        print("  " + "  ".join(cells))
+
+
+def _print_wave(summary: dict[str, object]) -> None:
+    wave = summary["completion_wave"]
+    if not wave:
+        print("  (no completion events)")
+        return
+    print("  round  completions")
+    for round_index, count in wave.items():
+        print(f"  {round_index:>5}  {count:>11}")
+
+
+def _print_phases(summary: dict[str, object]) -> None:
+    table = summary["phases"]
+    if not table:
+        print("  (no phases event — run with profiling enabled)")
+        return
+    print(f"  {'phase':<10} {'seconds':>10} {'calls':>8} {'fraction':>9}")
+    ordered = [p for p in PHASES if p in table] + sorted(
+        p for p in table if p not in PHASES
+    )
+    for phase in ordered:
+        cell = table[phase]
+        print(
+            f"  {phase:<10} {cell.get('seconds', 0):>10.6f} "
+            f"{cell.get('calls', 0):>8} {cell.get('fraction', 0):>9.4f}"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.tracestats",
+        description="Validate and summarise ltnc-trace JSONL files "
+        "(rank-vs-round curves, completion waves, phase breakdowns).",
+    )
+    parser.add_argument(
+        "traces", nargs="+", metavar="TRACE", help="trace JSONL file(s)"
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check only; exit 1 on the first invalid file",
+    )
+    parser.add_argument(
+        "--curve",
+        action="store_true",
+        help="print the rank-vs-round curve per file",
+    )
+    parser.add_argument(
+        "--wave",
+        action="store_true",
+        help="print the completion wave per file",
+    )
+    parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="print the per-phase time breakdown per file",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write every file's full summary as one JSON object",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except BrokenPipeError:  # piped through `head` — not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _run(args: argparse.Namespace) -> int:
+    summaries: dict[str, object] = {}
+    for name in args.traces:
+        path = pathlib.Path(name)
+        try:
+            records = read_trace(path)
+            validate_trace(records, source=str(path))
+        except (OSError, ValueError) as exc:
+            print(f"INVALID {exc}", file=sys.stderr)
+            return 1
+        if args.validate:
+            print(f"OK {path}")
+            continue
+        summary = trace_summary(records)
+        summaries[str(path)] = summary
+        _print_summary(path, summary)
+        if args.curve:
+            _print_curve(summary)
+        if args.wave:
+            _print_wave(summary)
+        if args.phases:
+            _print_phases(summary)
+    if args.json and not args.validate:
+        from repro.scenarios.aggregate import atomic_write_text
+
+        out = atomic_write_text(
+            pathlib.Path(args.json),
+            json.dumps(summaries, indent=2, sort_keys=True) + "\n",
+        )
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

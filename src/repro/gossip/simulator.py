@@ -25,6 +25,7 @@ The simulator is scheme-agnostic through the
 from __future__ import annotations
 
 import enum
+import time
 
 import numpy as np
 
@@ -32,6 +33,8 @@ from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel
 from repro.gossip.metrics import DisseminationResult
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
+from repro.obs.profiler import PhaseProfiler, set_refine_profiler
+from repro.obs.tracer import NULL_TRACER, node_rank
 from repro.rng import derive, make_rng, spawn
 from repro.schemes import CodingScheme, SchemeNode, resolve
 
@@ -83,6 +86,16 @@ class EpidemicSimulator:
         Peer-sampling service; uniform by default.
     channel:
         Fault model (loss / duplication / churn); perfect by default.
+    tracer:
+        Observability sink (:class:`repro.obs.tracer.JsonlTracer`);
+        defaults to the shared null tracer.  Tracing reads no rng and
+        charges no OpCounter, so results are bit-identical either way
+        (pinned by ``tests/test_obs_invariance.py``).
+    profiler:
+        Optional :class:`repro.obs.profiler.PhaseProfiler`; when given,
+        the run charges per-phase wall times (sampling / channel /
+        encode / decode / refine) through rng-identical profiled
+        duplicates of the hot paths.
     """
 
     def __init__(
@@ -100,6 +113,8 @@ class EpidemicSimulator:
         source_kwargs: dict[str, object] | None = None,
         sampler: PeerSampler | None = None,
         channel: ChannelModel | None = None,
+        tracer=None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         if n_nodes < 2:
             raise SimulationError(f"n_nodes must be >= 2, got {n_nodes}")
@@ -166,6 +181,34 @@ class EpidemicSimulator:
         self._incomplete: set[int] = {
             i for i, node in enumerate(self.nodes) if not node.is_complete()
         }
+        # Observability: implementation selection happens once, here, so
+        # the disabled hot paths carry no per-call branching beyond one
+        # attribute lookup.  Profiling takes precedence over per-session
+        # tracing (round-level events still fire either way).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler
+        self._trace = bool(self.tracer.enabled)
+        if profiler is not None:
+            self._transfer_fn = self._transfer_profiled
+            self._step_fn = self._step_profiled
+        elif self._trace and self.tracer.detail == "session":
+            self._transfer_fn = self._transfer_traced
+            self._step_fn = self.step
+        else:
+            self._transfer_fn = self._transfer
+            self._step_fn = self.step
+        self._trace_completed: set[int] = set()
+        self._trace_prev = dict.fromkeys(
+            (
+                "sessions",
+                "aborted",
+                "useful_transfers",
+                "redundant_transfers",
+                "lost_transfers",
+                "duplicated_transfers",
+            ),
+            0,
+        )
 
     @property
     def source(self) -> SchemeNode:
@@ -244,7 +287,93 @@ class EpidemicSimulator:
                 receiver_id
             ]
 
-    def _churn(self) -> None:
+    def _transfer_traced(
+        self, sender: SchemeNode, receiver_id: int, round_index: int
+    ) -> None:
+        """The plain transfer plus one ``session`` trace event.
+
+        Selected only at ``detail="session"``; the event reads counters
+        and node state after the fact, so the session itself is the
+        untraced code path, bit for bit.
+        """
+        result = self.result
+        before_aborted = result.aborted
+        before_useful = result.useful_transfers
+        self._transfer(sender, receiver_id, round_index)
+        self.tracer.event(
+            "session",
+            round=round_index,
+            sender=int(getattr(sender, "node_id", -1)),
+            receiver=receiver_id,
+            aborted=result.aborted > before_aborted,
+            useful=result.useful_transfers > before_useful,
+            rank=node_rank(self.nodes[receiver_id]),
+        )
+
+    def _transfer_profiled(
+        self, sender: SchemeNode, receiver_id: int, round_index: int
+    ) -> None:
+        """rng-identical duplicate of :meth:`_transfer` with phase timing.
+
+        Draws, state changes and counter updates happen in exactly the
+        original order — ``tests/test_obs_invariance.py`` pins the two
+        paths byte-identical — with ``perf_counter`` brackets charging
+        encode (packet construction), decode (header checks + receive)
+        and channel (fault draws) to the profiler.
+        """
+        perf = time.perf_counter
+        prof = self.profiler
+        receiver = self.nodes[receiver_id]
+        result = self.result
+        result.sessions += 1
+        receiver_state = None
+        if self.feedback is Feedback.FULL:
+            t0 = perf()
+            receiver_state = receiver.feedback_state()
+            prof.add("decode", perf() - t0)
+        t0 = perf()
+        packet = sender.make_packet(receiver_state)
+        prof.add("encode", perf() - t0)
+        result.recoded_packets += 1
+        if self.feedback is not Feedback.NONE:
+            t0 = perf()
+            innovative = receiver.header_is_innovative(packet.vector)
+            prof.add("decode", perf() - t0)
+            if not innovative:
+                result.aborted += 1
+                return
+        result.data_transfers += 1
+        was_complete = receiver.is_complete()
+        if not was_complete:
+            self._data_received[receiver_id] += 1
+        sender_id = int(getattr(sender, "node_id", -1))
+        t0 = perf()
+        lost = self.channel.loses(self._fault_rng, sender_id, receiver_id)
+        prof.add("channel", perf() - t0)
+        if lost:
+            result.lost_transfers += 1
+            return
+        t0 = perf()
+        deliveries = 2 if self.channel.duplicates(self._fault_rng) else 1
+        prof.add("channel", perf() - t0)
+        t0 = perf()
+        useful = receiver.receive(packet)
+        if deliveries == 2:
+            result.duplicated_transfers += 1
+            receiver.receive(packet.copy())
+        prof.add("decode", perf() - t0)
+        if useful:
+            result.useful_transfers += 1
+        else:
+            result.redundant_transfers += 1
+        if not was_complete and receiver.is_complete():
+            self._incomplete.discard(receiver_id)
+            result.completion_rounds[receiver_id] = round_index
+            result.data_until_complete[receiver_id] = self._data_received[
+                receiver_id
+            ]
+
+    def _churn(self, round_index: int = -1) -> None:
         """Crash-and-restart one random incomplete node.
 
         Completed nodes are spared: they have persisted the decoded
@@ -256,6 +385,8 @@ class EpidemicSimulator:
         incomplete = sorted(self._incomplete)
         victim = int(incomplete[self._fault_rng.integers(len(incomplete))])
         self.result.churn_events += 1
+        if self._trace:
+            self.tracer.event("churn", round=round_index, node=victim)
         # Fold the dying node's counters so its work is not forgotten.
         old = self.nodes[victim]
         recode = getattr(old, "recode_counter", None)
@@ -279,8 +410,8 @@ class EpidemicSimulator:
     def step(self, round_index: int) -> None:
         """Run one gossip period."""
         if self.channel.churns(self._fault_rng, round_index):
-            self._churn()
-        transfer = self._transfer
+            self._churn(round_index)
+        transfer = self._transfer_fn
         order_rng = self._order_rng
         n_nodes = self.n_nodes
         # Source injection: sources are not members of the overlay, so
@@ -301,14 +432,108 @@ class EpidemicSimulator:
             transfer(sender, target, round_index)
         self.result.record_round(round_index)
 
+    def _step_profiled(self, round_index: int) -> None:
+        """rng-identical duplicate of :meth:`step` with phase timing.
+
+        Charges the fault-model draw to ``channel`` and the target /
+        permutation / peer-sampling draws to ``sampling``; the transfer
+        phases are charged inside :meth:`_transfer_profiled`.
+        """
+        perf = time.perf_counter
+        prof = self.profiler
+        t0 = perf()
+        churns = self.channel.churns(self._fault_rng, round_index)
+        prof.add("channel", perf() - t0)
+        if churns:
+            self._churn(round_index)
+        transfer = self._transfer_fn
+        order_rng = self._order_rng
+        n_nodes = self.n_nodes
+        for source in self.sources:
+            for _ in range(self.source_pushes):
+                t0 = perf()
+                target = int(order_rng.integers(n_nodes))
+                prof.add("sampling", perf() - t0)
+                transfer(source, target, round_index)
+        nodes = self.nodes
+        sampler_peers = self.sampler.peers
+        t0 = perf()
+        order = order_rng.permutation(n_nodes).tolist()
+        prof.add("sampling", perf() - t0)
+        for sender_id in order:
+            sender = nodes[sender_id]
+            if not sender.can_send():
+                continue
+            t0 = perf()
+            (target,) = sampler_peers(sender_id, 1, round_index)
+            prof.add("sampling", perf() - t0)
+            transfer(sender, target, round_index)
+        self.result.record_round(round_index)
+
+    def _trace_round(self, round_index: int) -> None:
+        """Emit the per-round event (+ completion events) for tracing."""
+        result = self.result
+        prev = self._trace_prev
+        ranks = [node_rank(node) for node in self.nodes]
+        known = [r for r in ranks if r is not None]
+        self.tracer.event(
+            "round",
+            round=round_index,
+            completed=result.completed_count,
+            sessions=result.sessions - prev["sessions"],
+            aborted=result.aborted - prev["aborted"],
+            useful=result.useful_transfers - prev["useful_transfers"],
+            redundant=(
+                result.redundant_transfers - prev["redundant_transfers"]
+            ),
+            lost=result.lost_transfers - prev["lost_transfers"],
+            duplicated=(
+                result.duplicated_transfers - prev["duplicated_transfers"]
+            ),
+            rank_total=sum(known) if known else None,
+            rank_min=min(known) if known else None,
+            rank_max=max(known) if known else None,
+        )
+        for key in prev:
+            prev[key] = getattr(result, key)
+        for node_id, completed_at in result.completion_rounds.items():
+            if node_id not in self._trace_completed:
+                self._trace_completed.add(node_id)
+                self.tracer.event(
+                    "complete", round=completed_at, node=node_id
+                )
+
     def run(self) -> DisseminationResult:
         """Run rounds until every node decoded or the horizon is hit."""
-        for round_index in range(self.max_rounds):
-            self.step(round_index)
-            if self.result.all_complete:
-                break
-        self._collect_counters()
-        return self.result
+        step = self._step_fn
+        tracer = self.tracer
+        trace = self._trace
+        result = self.result
+        profiler = self.profiler
+        if profiler is not None:
+            # Refinement happens too deep inside LTNC recoding for the
+            # simulator to bracket; charge it through the module hook.
+            set_refine_profiler(profiler)
+        try:
+            for round_index in range(self.max_rounds):
+                step(round_index)
+                if trace:
+                    self._trace_round(round_index)
+                if result.all_complete:
+                    break
+            self._collect_counters()
+            if trace:
+                tracer.counter("sessions", result.sessions)
+                tracer.counter("aborted", result.aborted)
+                tracer.counter("data_transfers", result.data_transfers)
+                tracer.counter("churn_events", result.churn_events)
+                if profiler is not None:
+                    tracer.event("phases", phases=profiler.snapshot())
+        finally:
+            if profiler is not None:
+                set_refine_profiler(None)
+            tracer.close()
+        return result
 
     # ------------------------------------------------------------------
     def _collect_counters(self) -> None:

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.components import ConnectedComponents
 from repro.core.feedback import FeedbackState
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER, node_rank
 from repro.rng import make_rng, spawn
 from repro.schemes import CodingScheme, SchemeNode, resolve
 from repro.topology.generators import random_geometric
@@ -181,6 +182,7 @@ class WirelessSimulator:
         max_rounds: int = 50_000,
         seed: int | np.random.Generator | None = 0,
         node_kwargs: dict[str, object] | None = None,
+        tracer=None,
     ) -> None:
         self.topology = topology
         self.k = k
@@ -212,6 +214,14 @@ class WirelessSimulator:
         ]
         self._smart_cursor = [0] * n
         self.result = WirelessResult(coding_scheme.name, n, k)
+        # Observability: round-level events only (a broadcast round is
+        # the natural unit here); session detail degrades to rounds.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = bool(self.tracer.enabled)
+        self._trace_completed: set[int] = set()
+        self._trace_prev = dict.fromkeys(
+            ("transmissions", "receptions", "useful_receptions"), 0
+        )
 
     # ------------------------------------------------------------------
     def _deliver(
@@ -271,9 +281,52 @@ class WirelessSimulator:
             )
         self.result.rounds = round_index + 1
 
+    def _trace_round(self, round_index: int) -> None:
+        """Emit the per-round event and node completion events."""
+        result = self.result
+        prev = self._trace_prev
+        ranks = [node_rank(node) for node in self.nodes]
+        known = [r for r in ranks if r is not None]
+        self.tracer.event(
+            "round",
+            round=round_index,
+            completed=result.completed_count,
+            transmissions=result.transmissions - prev["transmissions"],
+            receptions=result.receptions - prev["receptions"],
+            useful=(
+                result.useful_receptions - prev["useful_receptions"]
+            ),
+            rank_total=sum(known) if known else None,
+            rank_min=min(known) if known else None,
+            rank_max=max(known) if known else None,
+        )
+        for key in prev:
+            prev[key] = getattr(result, key)
+        for node_id, completed_at in result.completion_rounds.items():
+            if node_id not in self._trace_completed:
+                self._trace_completed.add(node_id)
+                self.tracer.event(
+                    "complete", round=completed_at, node=node_id
+                )
+
     def run(self) -> WirelessResult:
-        for round_index in range(self.max_rounds):
-            self.step(round_index)
-            if self.result.all_complete:
-                break
-        return self.result
+        trace = self._trace
+        tracer = self.tracer
+        result = self.result
+        try:
+            for round_index in range(self.max_rounds):
+                self.step(round_index)
+                if trace:
+                    self._trace_round(round_index)
+                if result.all_complete:
+                    break
+            if trace:
+                tracer.counter("transmissions", result.transmissions)
+                tracer.counter("receptions", result.receptions)
+                tracer.counter(
+                    "useful_receptions", result.useful_receptions
+                )
+                tracer.counter("smart_targets", result.smart_targets)
+        finally:
+            tracer.close()
+        return result

@@ -1,0 +1,61 @@
+"""Determinism-safe observability: tracing, profiling, fleet progress.
+
+Strictly zero-cost when disabled — every simulator defaults to the one
+module-level :data:`~repro.obs.tracer.NULL_TRACER`, reads no clock,
+draws no rng, charges no OpCounter.  See the submodules:
+
+* :mod:`repro.obs.tracer` — JSONL trace emission (``ltnc-trace`` v1)
+* :mod:`repro.obs.profiler` — per-phase wall-time profiling
+* :mod:`repro.obs.progress` — fleet heartbeats and ``progress.json``
+* :mod:`repro.obs.spec` — the ``obs=`` field carried by ScenarioSpec
+"""
+
+from repro.obs.profiler import (
+    PHASES,
+    PhaseProfiler,
+    set_refine_profiler,
+)
+from repro.obs.progress import (
+    PROGRESS_FORMAT,
+    PROGRESS_VERSION,
+    FleetProgress,
+    ProgressTracker,
+    render_progress,
+    write_progress,
+)
+from repro.obs.spec import ObsSpec
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_DETAILS,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    JsonlTracer,
+    NullTracer,
+    iter_events,
+    node_rank,
+    read_trace,
+    trace_filename,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "PHASES",
+    "PROGRESS_FORMAT",
+    "PROGRESS_VERSION",
+    "TRACE_DETAILS",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "FleetProgress",
+    "JsonlTracer",
+    "NullTracer",
+    "ObsSpec",
+    "PhaseProfiler",
+    "ProgressTracker",
+    "iter_events",
+    "node_rank",
+    "read_trace",
+    "render_progress",
+    "set_refine_profiler",
+    "trace_filename",
+    "write_progress",
+]

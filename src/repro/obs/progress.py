@@ -1,0 +1,173 @@
+"""Live fleet progress: per-shard heartbeats → callback + progress.json.
+
+The trial fleet already checkpoints per shard; this module turns those
+completions into a progress signal a human (``--progress`` on the CLIs)
+or a remote dispatcher (polling the atomic ``progress.json`` written
+next to the checkpoints) can watch.  :class:`ProgressTracker` folds each
+finished shard into a :class:`FleetProgress` snapshot with an
+exponential-moving-average trials/sec and an ETA; replayed
+(checkpoint-restored) shards update the done counts but never the rate,
+so a resume does not report fantasy throughput.
+
+Everything here is observability-only: progress never feeds back into
+shard scheduling, seeding, or aggregation, so enabling it cannot change
+results (``tests/test_obs_invariance.py`` pins the fleet output
+byte-identical with and without it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Callable
+
+__all__ = [
+    "PROGRESS_FORMAT",
+    "PROGRESS_VERSION",
+    "FleetProgress",
+    "ProgressTracker",
+    "render_progress",
+    "write_progress",
+]
+
+PROGRESS_FORMAT = "ltnc-fleet-progress"
+PROGRESS_VERSION = 1
+
+#: Signature of a fleet progress callback.
+ProgressCallback = Callable[["FleetProgress"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetProgress:
+    """One heartbeat: fleet state after a shard finished."""
+
+    scenario: str  # scenario whose shard just finished
+    shard_index: int  # its index within that scenario's shards
+    shards_done: int  # completed shards across the whole grid
+    shards_total: int
+    trials_done: int  # trials covered by completed shards
+    trials_total: int
+    replayed: bool  # this shard came from a checkpoint, not a run
+    trials_per_sec: float | None  # EMA over freshly-run shards
+    eta_seconds: float | None  # remaining trials / EMA
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format": PROGRESS_FORMAT,
+            "version": PROGRESS_VERSION,
+            "scenario": self.scenario,
+            "shard_index": self.shard_index,
+            "shards_done": self.shards_done,
+            "shards_total": self.shards_total,
+            "trials_done": self.trials_done,
+            "trials_total": self.trials_total,
+            "replayed": self.replayed,
+            "trials_per_sec": self.trials_per_sec,
+            "eta_seconds": self.eta_seconds,
+        }
+
+
+class ProgressTracker:
+    """Folds shard completions into :class:`FleetProgress` heartbeats.
+
+    Parameters
+    ----------
+    shards_total, trials_total:
+        Grid-wide totals, known up front from the resolved shard plan.
+    ema_alpha:
+        Smoothing factor for the trials/sec EMA (1.0 = last shard only).
+    """
+
+    def __init__(
+        self,
+        shards_total: int,
+        trials_total: int,
+        ema_alpha: float = 0.5,
+    ) -> None:
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError(f"ema_alpha must be in (0, 1], got {ema_alpha}")
+        self.shards_total = shards_total
+        self.trials_total = trials_total
+        self.ema_alpha = ema_alpha
+        self.shards_done = 0
+        self.trials_done = 0
+        self._rate: float | None = None
+
+    def shard_finished(
+        self,
+        scenario: str,
+        shard_index: int,
+        n_trials: int,
+        seconds: float,
+        replayed: bool = False,
+    ) -> FleetProgress:
+        """Record one finished shard and return the updated snapshot.
+
+        *seconds* is the shard's wall time on the monotonic clock;
+        ignored for replayed shards, whose near-instant checkpoint loads
+        would otherwise swamp the EMA with absurd rates.
+        """
+        self.shards_done += 1
+        self.trials_done += n_trials
+        if not replayed and seconds > 0.0 and n_trials > 0:
+            rate = n_trials / seconds
+            if self._rate is None:
+                self._rate = rate
+            else:
+                self._rate += self.ema_alpha * (rate - self._rate)
+        remaining = max(0, self.trials_total - self.trials_done)
+        eta = remaining / self._rate if self._rate else None
+        return FleetProgress(
+            scenario=scenario,
+            shard_index=shard_index,
+            shards_done=self.shards_done,
+            shards_total=self.shards_total,
+            trials_done=self.trials_done,
+            trials_total=self.trials_total,
+            replayed=replayed,
+            trials_per_sec=round(self._rate, 3) if self._rate else None,
+            eta_seconds=round(eta, 1) if eta is not None else None,
+        )
+
+
+def render_progress(progress: FleetProgress) -> str:
+    """One console line per heartbeat, e.g.
+
+    ``[shard 3/8] baseline · 12/32 trials · 4.1 trials/s · ETA 5s``
+    """
+    parts = [
+        f"[shard {progress.shards_done}/{progress.shards_total}]",
+        progress.scenario,
+        f"{progress.trials_done}/{progress.trials_total} trials",
+    ]
+    if progress.replayed:
+        parts.append("(replayed)")
+    if progress.trials_per_sec is not None:
+        parts.append(f"{progress.trials_per_sec:.1f} trials/s")
+    if progress.eta_seconds is not None:
+        parts.append(f"ETA {progress.eta_seconds:.0f}s")
+    return parts[0] + " " + " · ".join(parts[1:])
+
+
+def write_progress(
+    path: str | pathlib.Path, progress: FleetProgress
+) -> None:
+    """Atomically persist a heartbeat as ``progress.json``.
+
+    Uses the fleet's own atomic write (tmp file + ``os.replace``) so a
+    poller never reads a torn file.  Adds ``updated_unix`` — the one
+    place wall-clock time is allowed, because a poller needs staleness
+    detection and never feeds this back into simulation state.
+    """
+    # Lazy import: repro.scenarios.spec imports repro.obs, and
+    # scenarios.aggregate imports scenarios.spec — importing it at
+    # module level here would close the cycle.
+    from repro.scenarios.aggregate import atomic_write_text
+
+    payload = dict(progress.to_dict())
+    payload["updated_unix"] = round(time.time(), 3)
+    atomic_write_text(
+        pathlib.Path(path), json.dumps(payload, indent=2, sort_keys=True)
+    )

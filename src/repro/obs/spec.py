@@ -1,0 +1,89 @@
+"""Declarative observability configuration carried by a ScenarioSpec.
+
+:class:`ObsSpec` names *where* traces go and *what* to measure; the
+spec-compilation layer (:meth:`repro.scenarios.spec.ScenarioSpec.build`)
+turns it into a concrete :class:`~repro.obs.tracer.JsonlTracer` and/or
+:class:`~repro.obs.profiler.PhaseProfiler` per trial.
+
+Deliberately **not** part of the workload identity: observability is a
+host-local concern (a trace directory on this machine), so
+``ScenarioSpec.to_dict()`` excludes it.  That keeps aggregate JSON
+byte-identical with and without tracing, keeps fleet checkpoint
+fingerprints obs-insensitive (a resumed fleet may toggle tracing
+freely), and keeps every existing golden passing unmodified.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_DETAILS,
+    JsonlTracer,
+    NullTracer,
+    trace_filename,
+)
+
+__all__ = ["ObsSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsSpec:
+    """What to observe while a trial runs.
+
+    trace_dir:
+        Directory for per-trial JSONL trace files (created on demand);
+        ``None`` disables tracing.
+    detail:
+        ``"round"`` or ``"session"`` — granularity of emitted events.
+    profile:
+        Collect per-phase wall times (sampling/channel/encode/decode/
+        refine) during the run.
+    """
+
+    trace_dir: str | None = None
+    detail: str = "round"
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.detail not in TRACE_DETAILS:
+            raise SimulationError(
+                f"obs detail must be one of {TRACE_DETAILS}, "
+                f"got {self.detail!r}"
+            )
+        if self.trace_dir is not None:
+            object.__setattr__(self, "trace_dir", str(self.trace_dir))
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace_dir is not None or self.profile
+
+    # -- compilation ---------------------------------------------------
+    def build_tracer(
+        self, scenario: str, seed: int
+    ) -> JsonlTracer | NullTracer:
+        """A tracer for one trial (the shared null tracer if disabled)."""
+        if self.trace_dir is None:
+            return NULL_TRACER
+        import pathlib
+
+        path = pathlib.Path(self.trace_dir) / trace_filename(scenario, seed)
+        return JsonlTracer(
+            path,
+            detail=self.detail,
+            meta={"scenario": scenario, "seed": seed},
+        )
+
+    def build_profiler(self) -> PhaseProfiler | None:
+        return PhaseProfiler() if self.profile else None
+
+    # -- serialisation (CLI plumbing only, never workload identity) ----
+    def to_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ObsSpec":
+        return cls(**payload)  # type: ignore[arg-type]

@@ -1,0 +1,315 @@
+"""Determinism-safe trace emission: spans, events, counters → JSONL.
+
+The paper's claims are *trajectory* claims — LTNC trades per-round
+overhead for faster convergence to full rank — yet a simulation's only
+output so far has been its final mergeable aggregate.  This module adds
+the missing axis: a :class:`Tracer` the simulators call at round (and
+optionally session) granularity, writing schema-versioned JSONL trace
+files that :mod:`repro.experiments.tracestats` can replay into
+rank-vs-round curves, per-phase breakdowns and completion waves.
+
+Two implementations share the interface:
+
+* :data:`NULL_TRACER` — a single module-level null object.  Every hook
+  is a no-op and ``enabled`` is ``False``, so instrumented code guards
+  its event *construction* behind one attribute check and the disabled
+  path stays strictly zero-cost: no rng draws, no
+  :class:`~repro.costmodel.counters.OpCounter` changes, no wall-clock
+  reads.  Goldens and rng fingerprints are pinned unchanged by
+  ``tests/test_obs_invariance.py``.
+* :class:`JsonlTracer` — streams one JSON object per line to a file.
+  Timestamps are **monotonic-clock offsets** from tracer creation
+  (never wall-clock dates), so traces order correctly even across NTP
+  steps; they are observability output, not part of any golden.
+
+Trace file format (``ltnc-trace`` v1)::
+
+    {"kind": "header", "format": "ltnc-trace", "version": 1,
+     "detail": "round", ...metadata}
+    {"kind": "event", "name": "round", "t": 0.0123, "round": 0, ...}
+    {"kind": "counter", "name": "sessions", "t": ..., "value": 3}
+    {"kind": "span", "name": "run", "t": 0.0001, "dt": 1.25, ...}
+
+``t`` is seconds since the header; ``dt`` (spans only) is the span's
+duration.  Every record is a flat JSON object, so the files stream
+through ``json.loads`` line by line with no framing state.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import time
+from typing import IO, Iterable
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TRACE_DETAILS",
+    "NULL_TRACER",
+    "NullTracer",
+    "JsonlTracer",
+    "iter_events",
+    "node_rank",
+    "read_trace",
+    "trace_filename",
+]
+
+TRACE_FORMAT = "ltnc-trace"
+TRACE_VERSION = 1
+#: Emission granularities: ``round`` is one event per gossip period,
+#: ``session`` adds one event per push session (orders of magnitude
+#: more records; use for small runs under the microscope).
+TRACE_DETAILS = ("round", "session")
+
+
+class _NullSpan:
+    """Context manager that measures nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    Instrumented hot loops hold ``tracer.enabled`` in a local / instance
+    bool and skip attribute construction entirely, so the only cost of
+    carrying a tracer is the reference itself.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    detail = "round"
+
+    def event(self, name: str, **attrs: object) -> None:
+        return None
+
+    def counter(self, name: str, value: int = 1, **attrs: object) -> None:
+        return None
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: The single module-level null tracer every simulator defaults to.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Times a with-block on the monotonic clock; emits on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0")
+
+    def __init__(self, tracer: "JsonlTracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        t1 = time.monotonic()
+        self._tracer._emit(
+            {
+                "kind": "span",
+                "name": self._name,
+                "t": round(self._t0 - self._tracer._t0, 6),
+                "dt": round(t1 - self._t0, 6),
+                **self._attrs,
+            }
+        )
+
+
+class JsonlTracer:
+    """Streams schema-versioned trace records to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        Destination file (parents created).  Opened immediately; the
+        header record is the first line.
+    detail:
+        ``"round"`` (default) or ``"session"`` — stored in the header
+        and read by the simulators to decide whether per-session events
+        are worth constructing.
+    meta:
+        Extra JSON-able fields for the header record (scenario name,
+        seed, ...), so a trace is self-describing.
+
+    The tracer never draws randomness and never touches simulation
+    state; closing is idempotent and also happens at garbage collection
+    so worker-pool trials cannot leak unflushed buffers.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        detail: str = "round",
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        if detail not in TRACE_DETAILS:
+            raise ValueError(
+                f"detail must be one of {TRACE_DETAILS}, got {detail!r}"
+            )
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.detail = detail
+        self.enabled = True
+        self._fh: IO[str] | None = open(self.path, "w")
+        self._t0 = time.monotonic()
+        self._emit(
+            {
+                "kind": "header",
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "detail": detail,
+                **(meta or {}),
+            }
+        )
+
+    # -- emission ------------------------------------------------------
+    def _emit(self, record: dict[str, object]) -> None:
+        fh = self._fh
+        if fh is None:  # closed: silently drop (run() closes in finally)
+            return
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def event(self, name: str, **attrs: object) -> None:
+        """One point-in-time record (a round summary, a churn, ...)."""
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "t": round(time.monotonic() - self._t0, 6),
+                **attrs,
+            }
+        )
+
+    def counter(self, name: str, value: int = 1, **attrs: object) -> None:
+        """One named quantity sample (monotone or gauge; reader decides)."""
+        self._emit(
+            {
+                "kind": "counter",
+                "name": name,
+                "t": round(time.monotonic() - self._t0, 6),
+                "value": value,
+                **attrs,
+            }
+        )
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        """Context manager timing a block; emits one span record."""
+        return _Span(self, name, attrs)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the file (idempotent).
+
+        Tolerates a half-constructed tracer (``__init__`` raised before
+        the file opened) because ``__del__`` funnels through here.
+        """
+        fh = getattr(self, "_fh", None)
+        self._fh = None
+        if fh is not None:
+            fh.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by the instrumented simulators and the trace readers
+# ----------------------------------------------------------------------
+def node_rank(node: object) -> int | None:
+    """A scheme node's decoding progress as one integer, best effort.
+
+    RLNC-family nodes expose the Gauss basis ``rank``, LTNC nodes the
+    belief-propagation ``decoded_count``, WC nodes the set of natives
+    ``received``.  Reading any of these is a pure state inspection — no
+    rng draws, no counter charges — so tracing it cannot perturb the
+    simulation.  Unknown node shapes report ``None`` and the tracer
+    simply omits the field.
+    """
+    rank = getattr(node, "rank", None)
+    if rank is not None:
+        return int(rank)
+    decoded = getattr(node, "decoded_count", None)
+    if decoded is not None:
+        return int(decoded)
+    received = getattr(node, "received", None)
+    if received is not None:
+        return len(received)
+    return None
+
+
+def trace_filename(scenario: str, seed: int) -> str:
+    """Filesystem-safe per-trial trace filename."""
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", scenario) or "scenario"
+    return f"trace-{slug}-{seed}.jsonl"
+
+
+def read_trace(path: str | pathlib.Path) -> list[dict[str, object]]:
+    """Parse one JSONL trace file into its records.
+
+    Raises ``ValueError`` naming the offending line on malformed JSON
+    or non-object records, so a truncated trace fails loudly instead of
+    silently dropping its tail.
+    """
+    records: list[dict[str, object]] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line ({exc})"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: trace records must be JSON objects"
+                )
+            records.append(record)
+    return records
+
+
+def iter_events(
+    records: Iterable[dict[str, object]], name: str
+) -> list[dict[str, object]]:
+    """All ``event`` records called *name*, in file order."""
+    return [
+        r
+        for r in records
+        if r.get("kind") == "event" and r.get("name") == name
+    ]

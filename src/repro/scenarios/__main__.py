@@ -28,6 +28,8 @@ import sys
 
 from repro.experiments.cliutil import (
     add_fleet_arguments,
+    add_obs_arguments,
+    apply_obs,
     make_runner,
     report_fleet_stop,
 )
@@ -75,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered coding schemes (capabilities, knobs) and exit",
     )
     add_fleet_arguments(parser)
+    add_obs_arguments(parser)
     return parser
 
 
@@ -111,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume requires --checkpoint-dir")
     if args.stop_after_shards is not None and args.checkpoint_dir is None:
         parser.error("--stop-after-shards requires --checkpoint-dir")
+    if args.trace_detail is not None and args.trace_dir is None:
+        parser.error("--trace-detail requires --trace-dir")
     if args.scenario != "all" and args.scenario not in PRESETS:
         catalogue = ", ".join(preset_names())
         parser.error(
@@ -128,7 +133,9 @@ def main(argv: list[str] | None = None) -> int:
         list(preset_names()) if args.scenario == "all" else [args.scenario]
     )
     runner = make_runner(args)
-    scenarios = [get_preset(name, profile) for name in names]
+    scenarios = apply_obs(
+        [get_preset(name, profile) for name in names], args
+    )
     try:
         aggregates = runner.run_grid(scenarios, args.trials, args.seed)
     except FleetStop as stop:

@@ -33,6 +33,11 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
     checkpoint resume (or any reader of ``benchmarks/out/``) would then
     trust corrupt JSON.  The temp file lives in the destination
     directory so the final rename is atomic on POSIX filesystems.
+
+    The temp file is unlinked best-effort in a ``finally`` — on success
+    ``os.replace`` already consumed it (the unlink is a no-op), and on
+    *any* failure, including ones raised by the replace itself, no
+    stray ``.*.tmp`` file survives.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -43,12 +48,11 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
         with os.fdopen(fd, "w") as fh:
             fh.write(text)
         os.replace(tmp_name, path)
-    except BaseException:
+    finally:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
-        raise
     return path
 
 #: z-score of the two-sided 95 % confidence interval (normal approx.,

@@ -50,12 +50,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import pathlib
 import re
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import SimulationError
+from repro.obs.progress import (
+    FleetProgress,
+    ProgressTracker,
+    write_progress,
+)
 from repro.scenarios.aggregate import ScenarioAggregate, atomic_write_text
 from repro.scenarios.runner import (
     TrialSpec,
@@ -78,6 +85,8 @@ __all__ = [
 
 CHECKPOINT_FORMAT = "ltnc-fleet-checkpoint"
 CHECKPOINT_VERSION = 1
+
+logger = logging.getLogger(__name__)
 
 
 class FleetStop(Exception):
@@ -226,31 +235,96 @@ class CheckpointStore:
     def load(
         self, shard: ShardSpec, fingerprint: str
     ) -> list[dict[str, object]] | None:
-        """The shard's trial records, or ``None`` if not reusable."""
+        """The shard's trial records, or ``None`` if not reusable.
+
+        A missing file is the normal first-run case and stays silent;
+        every other reason to recompute — corrupt JSON, a format or
+        version from another fleet generation, a fingerprint cut from a
+        different grid, mismatched shard identity or malformed trial
+        records — is logged as a warning naming the file, so a resumed
+        fleet never *silently* throws checkpointed work away.
+        """
         path = self.path_for(shard)
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            logger.warning("checkpoint %s: unreadable (%s); recomputing", path, exc)
+            return None
+        except json.JSONDecodeError as exc:
+            logger.warning(
+                "checkpoint %s: corrupt JSON (%s); recomputing", path, exc
+            )
             return None
         if not isinstance(payload, dict):
+            logger.warning(
+                "checkpoint %s: corrupt JSON (not an object); recomputing",
+                path,
+            )
             return None
         if (
             payload.get("format") != CHECKPOINT_FORMAT
             or payload.get("version") != CHECKPOINT_VERSION
-            or payload.get("fingerprint") != fingerprint
-            or payload.get("shard_index") != shard.shard_index
+        ):
+            logger.warning(
+                "checkpoint %s: format/version mismatch "
+                "(got %r v%r, want %r v%r); recomputing",
+                path,
+                payload.get("format"),
+                payload.get("version"),
+                CHECKPOINT_FORMAT,
+                CHECKPOINT_VERSION,
+            )
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            logger.warning(
+                "checkpoint %s: grid fingerprint mismatch (cut from a "
+                "different scenario/seed/shard grid); recomputing",
+                path,
+            )
+            return None
+        if (
+            payload.get("shard_index") != shard.shard_index
             or payload.get("master_seed") != shard.master_seed
             or payload.get("trial_indices") != list(shard.trial_indices)
         ):
+            logger.warning(
+                "checkpoint %s: shard identity mismatch; recomputing", path
+            )
             return None
         trials = payload.get("trials")
         if not isinstance(trials, list) or not all(
             isinstance(t, dict) for t in trials
         ):
+            logger.warning(
+                "checkpoint %s: malformed trial records; recomputing", path
+            )
             return None
         if [t.get("trial_index") for t in trials] != list(shard.trial_indices):
+            logger.warning(
+                "checkpoint %s: trial indices do not match the plan; "
+                "recomputing",
+                path,
+            )
             return None
         return trials
+
+    def sweep_stale_tmp(self) -> int:
+        """Best-effort unlink of stray atomic-write temp files.
+
+        An interrupted process can die between ``mkstemp`` and its
+        ``finally`` cleanup; the next fleet run over the same directory
+        sweeps those orphans.  Returns the number removed.
+        """
+        removed = 0
+        for tmp in self.directory.glob(".*.tmp"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
 
 
 class FleetRunner:
@@ -273,6 +347,15 @@ class FleetRunner:
     the CI resume smoke): after *executing* that many shards (replayed
     checkpoints don't count), the runner checkpoints what it has and
     raises :class:`FleetStop`.
+
+    ``progress`` is an optional callback receiving one
+    :class:`~repro.obs.progress.FleetProgress` heartbeat per finished
+    shard (replayed ones included); with a checkpoint directory set the
+    latest heartbeat is additionally written atomically to
+    ``progress.json`` next to the shard files, so remote dispatch can
+    poll the fleet without attaching to its stdout.  Progress never
+    feeds back into scheduling or seeding — results are byte-identical
+    with and without it.
     """
 
     def __init__(
@@ -282,6 +365,7 @@ class FleetRunner:
         checkpoint_dir: str | pathlib.Path | None = None,
         resume: bool = False,
         stop_after_shards: int | None = None,
+        progress=None,
     ) -> None:
         if n_workers < 1:
             raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
@@ -302,13 +386,16 @@ class FleetRunner:
         )
         self.resume = resume
         self.stop_after_shards = stop_after_shards
+        self.progress = progress
 
     # ------------------------------------------------------------------
     def _resolve_shards(self, n_trials: int) -> int:
         if self.n_shards is not None:
             return self.n_shards
-        if self.store is None:
+        if self.store is None and self.progress is None:
             return 1
+        # Checkpointing or progress reporting both want shards coarse
+        # enough to keep the pool busy, fine enough to surface signal.
         return min(n_trials, max(4, self.n_workers))
 
     def run(
@@ -333,16 +420,34 @@ class FleetRunner:
         aggregates = {
             s.name: ScenarioAggregate(s, master_seed) for s in scenario_list
         }
+        if self.store is not None:
+            self.store.sweep_stale_tmp()
+        tracker = ProgressTracker(
+            shards_total=len(shards),
+            trials_total=sum(len(s.trial_indices) for s in shards),
+        )
         executed = 0
         for position, shard in enumerate(shards):
             records = None
+            replayed = False
+            started = time.monotonic()
             if self.store is not None and self.resume:
                 records = self.store.load(shard, fingerprint)
+                replayed = records is not None
             if records is None:
                 records = self._execute_shard(shard, fingerprint)
                 executed += 1
             for record in records:
                 aggregates[shard.scenario.name].add_record(record)
+            self._heartbeat(
+                tracker.shard_finished(
+                    shard.scenario.name,
+                    shard.shard_index,
+                    len(shard.trial_indices),
+                    time.monotonic() - started,
+                    replayed=replayed,
+                )
+            )
             if (
                 self.stop_after_shards is not None
                 and executed >= self.stop_after_shards
@@ -350,6 +455,13 @@ class FleetRunner:
             ):
                 raise FleetStop(position + 1, len(shards))
         return aggregates
+
+    def _heartbeat(self, beat: FleetProgress) -> None:
+        """Fan one progress snapshot out to the callback and the disk."""
+        if self.progress is not None:
+            self.progress(beat)
+        if self.store is not None:
+            write_progress(self.store.directory / "progress.json", beat)
 
     def _execute_shard(
         self, shard: ShardSpec, fingerprint: str

@@ -26,6 +26,7 @@ from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
 from repro.gossip.peer_sampling import PeerSampler, ViewSampler
 from repro.gossip.simulator import EpidemicSimulator, Feedback
+from repro.obs.spec import ObsSpec
 from repro.rng import derive
 from repro.schemes import resolve
 from repro.topology.spec import TopologySpec
@@ -72,6 +73,8 @@ class ScenarioSpec:
     content: CatalogueSpec | None = None
     # -- scheme-specific node knobs -----------------------------------
     node_kwargs: dict[str, object] = field(default_factory=dict)
+    # -- observability (host-local; never part of workload identity) --
+    obs: ObsSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -146,6 +149,8 @@ class ScenarioSpec:
             object.__setattr__(
                 self, "content", CatalogueSpec.from_dict(self.content)
             )
+        if self.obs is not None and not isinstance(self.obs, ObsSpec):
+            object.__setattr__(self, "obs", ObsSpec.from_dict(self.obs))
         if self.content is not None:
             if self.feedback == Feedback.FULL.value:
                 raise SimulationError(
@@ -227,8 +232,15 @@ class ScenarioSpec:
             )
             if self.sampler == "topology":
                 sampler = topo_sampler
+        tracer = None
+        profiler = None
+        if self.obs is not None and self.obs.enabled:
+            tracer = self.obs.build_tracer(self.name, seed)
+            profiler = self.obs.build_profiler()
         if self.content is not None:
-            return self._build_catalogue(seed, sampler, channel, graph)
+            return self._build_catalogue(
+                seed, sampler, channel, graph, tracer
+            )
         sim = EpidemicSimulator(
             self.scheme,
             self.n_nodes,
@@ -241,6 +253,8 @@ class ScenarioSpec:
             node_kwargs=dict(self.node_kwargs),
             sampler=sampler,
             channel=channel,
+            tracer=tracer,
+            profiler=profiler,
         )
         n_warm = int(round(self.warm_fraction * self.n_nodes))
         if n_warm and self.warm_packets:
@@ -252,7 +266,7 @@ class ScenarioSpec:
             sim.prewarm(warm_ids, self.warm_packets)
         return sim
 
-    def _build_catalogue(self, seed, sampler, channel, graph):
+    def _build_catalogue(self, seed, sampler, channel, graph, tracer=None):
         """Compile the ``content`` field into a CatalogueSimulator.
 
         All catalogue randomness (demand assignment, cache placement,
@@ -316,6 +330,7 @@ class ScenarioSpec:
             node_kwargs=dict(self.node_kwargs),
             sampler=sampler,
             channel=channel,
+            tracer=tracer,
         )
 
     def run(self, seed: int):
@@ -330,8 +345,16 @@ class ScenarioSpec:
 
     # -- serialisation -------------------------------------------------
     def to_dict(self) -> dict[str, object]:
-        """A plain-JSON dict (tuples become lists) that round-trips."""
+        """A plain-JSON dict (tuples become lists) that round-trips.
+
+        The ``obs`` field is deliberately excluded: observability is a
+        host-local concern (trace directories on this machine), not
+        part of the workload's identity.  Aggregate JSON and fleet
+        checkpoint fingerprints therefore stay byte-identical whether
+        or not tracing is enabled.
+        """
         payload = asdict(self)
+        payload.pop("obs", None)
         payload["node_loss"] = list(self.node_loss)
         payload["churn_phases"] = [asdict(p) for p in self.churn_phases]
         payload["topology"] = (

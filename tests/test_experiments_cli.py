@@ -30,6 +30,11 @@ BAD_ARGS = [
         ["--stop-after-shards", "2"],
         "--stop-after-shards requires --checkpoint-dir",
     ),
+    (
+        ["--trace-detail", "session"],
+        "--trace-detail requires --trace-dir",
+    ),
+    (["--trace-dir", "x", "--trace-detail", "packet"], "invalid choice"),
 ]
 
 
@@ -84,7 +89,40 @@ def test_sweep_cli_checkpoint_stop_and_resume(
     assert DRIVERS[driver](fleet + ["--stop-after-shards", "1"]) == 3
     captured = capsys.readouterr()
     assert "rerun with --resume" in captured.err
-    assert len(list((tmp_path / driver).iterdir())) == 1
+    assert len(list((tmp_path / driver).glob("shard-*.json"))) == 1
 
     assert DRIVERS[driver](fleet + ["--resume"]) == 0
     assert capsys.readouterr().out == golden
+
+
+def test_sweep_cli_tracing_and_progress_leave_table_unchanged(
+    capsys, tmp_path, monkeypatch
+):
+    # Observability flags are free: the traced + progress run prints
+    # the same table, and drops its artifacts where asked.
+    monkeypatch.setenv("LTNC_SCALE", "quick")
+    base = ["--trials", "2", "--seed", "7", "--schemes", "wc"]
+    assert scheme_compare.main(base) == 0
+    golden = capsys.readouterr().out
+
+    traces = tmp_path / "traces"
+    ckpt = tmp_path / "ckpt"
+    observed = base + [
+        "--trace-dir", str(traces),
+        "--progress",
+        "--checkpoint-dir", str(ckpt),
+    ]
+    assert scheme_compare.main(observed) == 0
+    captured = capsys.readouterr()
+    assert captured.out == golden
+    assert "trials/s" in captured.err  # the live progress lines
+    assert len(list(traces.glob("trace-*.jsonl"))) == 2  # one per trial
+    import json
+
+    payload = json.loads((ckpt / "progress.json").read_text())
+    assert payload["shards_done"] == payload["shards_total"]
+
+    from repro.experiments import tracestats
+
+    argv = [str(p) for p in sorted(traces.glob("trace-*.jsonl"))]
+    assert tracestats.main(["--validate"] + argv) == 0

@@ -292,7 +292,8 @@ def test_stop_resume_is_byte_identical_to_uninterrupted(tmp_path):
         ).run_grid([SPEC, OTHER], 4, master_seed=7)
     assert excinfo.value.completed_shards == 1
     assert excinfo.value.total_shards == 4
-    assert len(list(tmp_path.iterdir())) == 1  # one shard checkpointed
+    # One shard checkpointed (progress.json rides along separately).
+    assert len(list(tmp_path.glob("shard-*.json"))) == 1
     for n_workers in (1, 4):
         resumed = FleetRunner(
             n_workers=n_workers,
@@ -311,7 +312,7 @@ def test_resume_does_not_rerun_checkpointed_shards(tmp_path, monkeypatch):
         ).run(SPEC, 4, master_seed=7)
     done = {
         json.loads(p.read_text())["trial_indices"][0]
-        for p in tmp_path.iterdir()
+        for p in tmp_path.glob("shard-*.json")
     }
     assert len(done) == 2
 
@@ -375,7 +376,7 @@ def test_cli_checkpoint_stop_resume_roundtrip(tmp_path, capsys):
     assert main(fleet + ["--stop-after-shards", "1"]) == 3
     captured = capsys.readouterr()
     assert "stopped after 1/2 shards" in captured.err
-    assert len(list((tmp_path / "ckpt").iterdir())) == 1
+    assert len(list((tmp_path / "ckpt").glob("shard-*.json"))) == 1
 
     assert main(fleet + ["--resume"]) == 0
     assert capsys.readouterr().out == golden

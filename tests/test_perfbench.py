@@ -12,6 +12,7 @@ from repro.experiments.perfbench import (
     bench_decode,
     bench_end_to_end,
     bench_fleet,
+    bench_phases,
     bench_rref_insert_reduce,
     main,
     run_perfbench,
@@ -44,6 +45,20 @@ def test_end_to_end_bench_completes_scenario():
     assert entry["rounds"] >= 1 and entry["rounds_per_sec"] > 0
 
 
+def test_phase_bench_reports_breakdown():
+    entry = bench_phases("ltnc", n_nodes=6, k=8, seed=5)
+    assert entry["all_complete"]
+    table = entry["phases"]
+    assert table["encode"]["calls"] > 0 and table["decode"]["calls"] > 0
+    assert table["refine"]["calls"] > 0  # LTNC's Algorithm-2 slice
+    assert all(cell["seconds"] >= 0 for cell in table.values())
+    # refine is a subset of encode, excluded from the measured slice.
+    assert entry["measured_seconds"] <= entry["seconds"] + 1e-6
+    # The profiled workload is the bench_end_to_end workload: identical
+    # seed and sizes, hence the identical simulated trajectory.
+    assert entry["rounds"] == bench_end_to_end("ltnc", 6, 8, seed=5)["rounds"]
+
+
 def test_fleet_bench_reports_throughput():
     entry = bench_fleet(
         n_trials=6, n_nodes=6, k=8, seed=5, n_workers=1, n_shards=3
@@ -58,8 +73,9 @@ def test_run_perfbench_quick_schema_and_validation(tmp_path):
         profile="quick", seed=7, ks=(16, 32), schemes=("wc", "rlnc")
     )
     validate_bench(report)
-    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["schema_version"] == SCHEMA_VERSION == 3
     assert set(report["end_to_end"]) == {"wc", "rlnc"}
+    assert set(report["phases"]) == {"wc", "rlnc"}
     entry = report["microbench"]["rref_insert_reduce"]["k=32"]
     assert {"ops_per_sec", "baseline_ops_per_sec", "speedup_vs_baseline"} <= set(
         entry
@@ -95,6 +111,18 @@ def test_validate_bench_rejects_broken_reports():
     slow_fleet["fleet"]["trials_per_sec"] = 0
     with pytest.raises(ValueError, match="fleet.trials_per_sec"):
         validate_bench(slow_fleet)
+    no_phases = json.loads(json.dumps(report))
+    del no_phases["phases"]
+    with pytest.raises(ValueError, match="phases section missing"):
+        validate_bench(no_phases)
+    cold_phases = json.loads(json.dumps(report))
+    cold_phases["phases"]["wc"]["phases"].pop("decode")
+    with pytest.raises(ValueError, match=r"phases\[wc\].phases.decode"):
+        validate_bench(cold_phases)
+    rewound = json.loads(json.dumps(report))
+    rewound["phases"]["wc"]["phases"]["encode"]["seconds"] = -0.1
+    with pytest.raises(ValueError, match="negative phase time"):
+        validate_bench(rewound)
     with pytest.raises(ValueError, match="unknown profile"):
         run_perfbench(profile="nope")
 
