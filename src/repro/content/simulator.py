@@ -44,6 +44,11 @@ from repro.generations.manager import (
 )
 from repro.gossip.channel import ChannelModel
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
+from repro.obs.metrics import (
+    ROUND_BOUNDARIES,
+    MetricsCollector,
+)
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracer import NULL_TRACER
 from repro.rng import derive
 from repro.schemes import resolve
@@ -181,6 +186,7 @@ class CatalogueSimulator:
         sampler: PeerSampler | None = None,
         channel: ChannelModel | None = None,
         tracer=None,
+        metrics: MetricsCollector | None = None,
     ) -> None:
         if not catalogue:
             raise SimulationError("catalogue must hold at least one content")
@@ -270,6 +276,7 @@ class CatalogueSimulator:
         # Observability: one null-tracer default; selection happens once
         # so the disabled hot paths carry no extra branching.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._trace = bool(self.tracer.enabled)
         self._transfer_fn = (
             self._transfer_traced
@@ -616,13 +623,20 @@ class CatalogueSimulator:
         trace = self._trace
         tracer = self.tracer
         result = self.result
+        spans = SpanRecorder(tracer) if trace else None
         try:
+            if spans is not None:
+                spans.begin("run", contents=self.n_contents)
             for round_index in range(self.max_rounds):
                 self.step(round_index)
                 if trace:
                     self._trace_round(round_index)
                 if result.all_complete:
                     break
+            if spans is not None:
+                spans.end(rounds=result.rounds)
+            if self.metrics is not None:
+                self._record_telemetry()
             if trace:
                 tracer.counter("sessions", result.sessions)
                 tracer.counter("aborted", result.aborted)
@@ -632,3 +646,44 @@ class CatalogueSimulator:
         finally:
             tracer.close()
         return result
+
+    def _record_telemetry(self) -> None:
+        """Fold the finished run into the trial's metrics collector.
+
+        Pure result-state reads, deterministic given the workload and
+        seed — see the epidemic simulator's twin for the contract.
+        """
+        m = self.metrics
+        result = self.result
+        m.label("kind", "catalogue")
+        m.count("rounds", result.rounds)
+        m.count("pairs", result.n_pairs)
+        m.count("completed_pairs", result.completed_count)
+        m.count("sessions", result.sessions)
+        m.count("aborted", result.aborted)
+        m.count("unwanted", result.unwanted)
+        m.count("data_transfers", result.data_transfers)
+        m.count("useful_transfers", result.useful_transfers)
+        m.count("redundant_transfers", result.redundant_transfers)
+        m.count("lost_transfers", result.lost_transfers)
+        m.count("duplicated_transfers", result.duplicated_transfers)
+        m.count("churn_events", result.churn_events)
+        m.count("recoded_packets", result.recoded_packets)
+        m.count("cache_served", result.cache_served)
+        m.count("cache_stored", result.cache_stored)
+        m.count("cache_evictions", result.cache_evictions)
+        m.count("cache_rejects", result.cache_rejects)
+        m.count("edge_served", result.edge_served)
+        for content, value in sorted(result.content_data_transfers.items()):
+            name = result.content_names[content]
+            m.count(f"content:{name}:data_transfers", value)
+        m.gauge("completed_fraction", result.completed_fraction())
+        m.gauge("abort_rate", result.abort_rate())
+        m.gauge("cache_hit_ratio", result.cache_hit_ratio())
+        m.gauge("edge_served_fraction", result.edge_served_fraction())
+        for pair in sorted(result.completion_rounds):
+            m.observe(
+                "completion_round",
+                result.completion_rounds[pair],
+                boundaries=ROUND_BOUNDARIES,
+            )

@@ -107,6 +107,19 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="trace granularity (default: round; requires --trace-dir)",
     )
     parser.add_argument(
+        "--trace-compress",
+        action="store_true",
+        help="gzip the trace files (.jsonl.gz; requires --trace-dir)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="collect mergeable in-worker telemetry and write the "
+        "fleet-wide telemetry.json here "
+        "(worker/shard/resume-invariant; ltnc-telemetry v1)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print one live progress line per finished shard to stderr",
@@ -129,6 +142,7 @@ def obs_from_args(args: argparse.Namespace):
     return ObsSpec(
         trace_dir=trace_dir,
         detail=getattr(args, "trace_detail", None) or "round",
+        compress=bool(getattr(args, "trace_compress", False)),
     )
 
 
@@ -176,6 +190,11 @@ def validate_runner_arguments(
         and getattr(args, "trace_dir", None) is None
     ):
         parser.error("--trace-detail requires --trace-dir")
+    if (
+        getattr(args, "trace_compress", False)
+        and getattr(args, "trace_dir", None) is None
+    ):
+        parser.error("--trace-compress requires --trace-dir")
 
 
 def make_runner(args: argparse.Namespace):
@@ -189,13 +208,16 @@ def make_runner(args: argparse.Namespace):
     from repro.scenarios.fleet import FleetRunner
     from repro.scenarios.runner import TrialRunner
 
+    telemetry_dir = getattr(args, "telemetry_dir", None)
     if (
         getattr(args, "shards", None) is None
         and getattr(args, "checkpoint_dir", None) is None
         and getattr(args, "stop_after_shards", None) is None
         and not getattr(args, "progress", False)
     ):
-        return TrialRunner(n_workers=args.workers)
+        return TrialRunner(
+            n_workers=args.workers, telemetry_dir=telemetry_dir
+        )
     return FleetRunner(
         n_workers=args.workers,
         n_shards=args.shards,
@@ -203,6 +225,7 @@ def make_runner(args: argparse.Namespace):
         resume=args.resume,
         stop_after_shards=args.stop_after_shards,
         progress=progress_printer(args),
+        telemetry_dir=telemetry_dir,
     )
 
 

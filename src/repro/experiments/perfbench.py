@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pathlib
 import platform
 import sys
 import time
@@ -68,8 +69,10 @@ __all__ = [
 
 #: v2 added the ``fleet`` section (sharded trial-grid throughput);
 #: v3 added the ``phases`` section (per-phase wall time through
-#: :class:`~repro.obs.PhaseProfiler`).
-SCHEMA_VERSION = 3
+#: :class:`~repro.obs.PhaseProfiler`); v4 added ``fleet.telemetry``
+#: (the in-worker mergeable counters of the fleet workload, via
+#: :mod:`repro.obs.metrics`).
+SCHEMA_VERSION = 4
 DEFAULT_SEED = 2026
 KERNEL_KS: tuple[int, ...] = (32, 64, 128, 256)
 DEFAULT_OUT = "BENCH_ltnc.json"
@@ -314,7 +317,10 @@ def bench_fleet(
     — chunked pool dispatch, shard-streamed aggregation, no
     checkpointing — and reports trials/sec.  The *work* is identical
     run to run; only wall-clock varies with the host, as everywhere in
-    this harness.
+    this harness.  Since v4 the row carries the workload's in-worker
+    telemetry counters (:mod:`repro.obs.metrics`), which *are*
+    deterministic — a changed counter means the workload itself
+    changed, not the host.
     """
     from repro.scenarios.fleet import FleetRunner
     from repro.scenarios.spec import ScenarioSpec
@@ -322,11 +328,14 @@ def bench_fleet(
     if n_workers is None:
         n_workers = min(4, os.cpu_count() or 1)
     spec = ScenarioSpec(name="fleet_baseline", n_nodes=n_nodes, k=k)
-    runner = FleetRunner(n_workers=n_workers, n_shards=n_shards)
+    runner = FleetRunner(
+        n_workers=n_workers, n_shards=n_shards, collect_telemetry=True
+    )
     t0 = time.perf_counter()
     aggregate = runner.run(spec, n_trials, master_seed=seed)
     seconds = time.perf_counter() - t0
     summary = aggregate.metrics_summary()
+    section = (runner.last_telemetry or {}).get(spec.name, {})
     return {
         "n_trials": n_trials,
         "n_nodes": n_nodes,
@@ -336,6 +345,10 @@ def bench_fleet(
         "completed_fraction": summary["completed_fraction"]["mean"],
         "seconds": round(seconds, 6),
         "trials_per_sec": round(n_trials / seconds, 2),
+        "telemetry": {
+            "n_trials": section.get("n_trials", 0),
+            "counters": dict(section.get("counters", {})),
+        },
     }
 
 
@@ -497,6 +510,23 @@ def validate_bench(data: dict[str, object]) -> None:
             errors.append("fleet.trials_per_sec not positive")
         if fleet.get("completed_fraction", 0) != 1.0:
             errors.append("fleet.completed_fraction != 1.0")
+        telemetry = fleet.get("telemetry")
+        if not isinstance(telemetry, dict):
+            errors.append("fleet.telemetry section missing")
+        else:
+            if telemetry.get("n_trials", 0) != fleet.get("n_trials"):
+                errors.append(
+                    "fleet.telemetry.n_trials does not cover the grid"
+                )
+            counters = telemetry.get("counters")
+            if not isinstance(counters, dict) or not counters:
+                errors.append("fleet.telemetry.counters missing or empty")
+            elif any(
+                not isinstance(v, int) or v < 0 for v in counters.values()
+            ):
+                errors.append(
+                    "fleet.telemetry.counters has a negative/non-int value"
+                )
     if errors:
         raise ValueError("invalid perfbench report: " + "; ".join(errors))
 
@@ -525,6 +555,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="skip timing the reference numpy kernel",
     )
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="also append a timestamped copy (bench-YYYYmmddTHHMMSSZ"
+        ".json) here, building the trajectory that "
+        "python -m repro.experiments.benchdiff --history diffs",
+    )
     args = parser.parse_args(argv)
     report = run_perfbench(
         profile="quick" if args.quick else "full",
@@ -532,9 +570,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         include_baseline=not args.no_baseline,
     )
     validate_bench(report)
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    from repro.scenarios.aggregate import atomic_write_text
+
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(pathlib.Path(args.out), text)
+    if args.history_dir:
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        history = pathlib.Path(args.history_dir) / f"bench-{stamp}.json"
+        atomic_write_text(history, text)
+        print(f"appended history copy {history}", file=sys.stderr)
     rref64 = report["microbench"]["rref_insert_reduce"].get("k=64", {})
     line = f"wrote {args.out}: rref k=64 {rref64.get('ops_per_sec', '?')} ops/s"
     if "speedup_vs_baseline" in rref64:

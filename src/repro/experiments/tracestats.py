@@ -54,6 +54,8 @@ __all__ = [
     "completion_wave",
     "phase_breakdown",
     "counter_totals",
+    "span_summary",
+    "telemetry_overview",
     "main",
 ]
 
@@ -187,6 +189,54 @@ def counter_totals(
     return totals
 
 
+def span_summary(
+    records: Iterable[dict[str, object]],
+) -> dict[str, dict[str, float | int]]:
+    """Per-name span timing totals from a trace's ``span`` records.
+
+    ``{name: {calls, seconds, mean, max, max_depth}}``, names sorted.
+    Spans are the in-worker begin/end timers the simulators emit
+    through :class:`~repro.obs.spans.SpanRecorder`; a trace without
+    spans yields an empty dict.
+    """
+    table: dict[str, dict[str, float | int]] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        name = record.get("name")
+        dt = record.get("dt")
+        if not isinstance(name, str) or not isinstance(dt, (int, float)):
+            continue
+        cell = table.setdefault(
+            name,
+            {"calls": 0, "seconds": 0.0, "max": 0.0, "max_depth": 0},
+        )
+        cell["calls"] += 1
+        cell["seconds"] = round(cell["seconds"] + dt, 6)
+        cell["max"] = round(max(cell["max"], dt), 6)
+        depth = record.get("depth")
+        if isinstance(depth, int):
+            cell["max_depth"] = max(cell["max_depth"], depth)
+    for cell in table.values():
+        cell["mean"] = round(cell["seconds"] / cell["calls"], 6)
+    return dict(sorted(table.items()))
+
+
+def telemetry_overview(payload: dict[str, object]) -> list[str]:
+    """One summary line per scenario of an ``ltnc-telemetry`` file."""
+    lines = []
+    scenarios = payload.get("scenarios", {})
+    for name, section in sorted(scenarios.items()):
+        counters = section.get("counters", {})
+        histograms = section.get("histograms", {})
+        lines.append(
+            f"{name}: trials={section.get('n_trials')}  "
+            f"counters={len(counters)}  gauges={len(section.get('gauges', {}))}  "
+            f"histograms={len(histograms)}"
+        )
+    return lines
+
+
 def trace_summary(
     records: Sequence[dict[str, object]],
 ) -> dict[str, object]:
@@ -205,6 +255,7 @@ def trace_summary(
         "completion_wave": {str(k): v for k, v in wave.items()},
         "phases": phase_breakdown(records),
         "counters": counter_totals(records),
+        "spans": span_summary(records),
     }
 
 
@@ -279,6 +330,23 @@ def _print_phases(summary: dict[str, object]) -> None:
         )
 
 
+def _print_spans(summary: dict[str, object]) -> None:
+    table = summary["spans"]
+    if not table:
+        print("  (no span records)")
+        return
+    print(
+        f"  {'span':<10} {'calls':>8} {'seconds':>10} "
+        f"{'mean':>10} {'max':>10} {'depth':>6}"
+    )
+    for name, cell in table.items():
+        print(
+            f"  {name:<10} {cell['calls']:>8} {cell['seconds']:>10.6f} "
+            f"{cell['mean']:>10.6f} {cell['max']:>10.6f} "
+            f"{cell['max_depth']:>6}"
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.tracestats",
@@ -286,7 +354,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(rank-vs-round curves, completion waves, phase breakdowns).",
     )
     parser.add_argument(
-        "traces", nargs="+", metavar="TRACE", help="trace JSONL file(s)"
+        "traces",
+        nargs="*",
+        metavar="TRACE",
+        help="trace JSONL file(s) (.jsonl or .jsonl.gz)",
     )
     parser.add_argument(
         "--validate",
@@ -309,12 +380,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print the per-phase time breakdown per file",
     )
     parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="print the per-span timing table per file",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="also validate and summarise an ltnc-telemetry "
+        "telemetry.json (exit 1 when invalid)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="OUT",
         help="also write every file's full summary as one JSON object",
     )
     args = parser.parse_args(argv)
+    if not args.traces and not args.telemetry:
+        parser.error("need at least one TRACE file (or --telemetry FILE)")
     try:
         return _run(args)
     except BrokenPipeError:  # piped through `head` — not an error
@@ -346,6 +431,21 @@ def _run(args: argparse.Namespace) -> int:
             _print_wave(summary)
         if args.phases:
             _print_phases(summary)
+        if args.spans:
+            _print_spans(summary)
+    if args.telemetry:
+        from repro.obs.telemetry import read_telemetry, validate_telemetry
+
+        path = pathlib.Path(args.telemetry)
+        try:
+            payload = read_telemetry(path)
+            validate_telemetry(payload, source=str(path))
+        except (OSError, ValueError) as exc:
+            print(f"INVALID {exc}", file=sys.stderr)
+            return 1
+        print(f"OK {path}")
+        for line in telemetry_overview(payload):
+            print(f"  {line}")
     if args.json and not args.validate:
         from repro.scenarios.aggregate import atomic_write_text
 

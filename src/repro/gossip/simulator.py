@@ -33,7 +33,13 @@ from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel
 from repro.gossip.metrics import DisseminationResult
 from repro.gossip.peer_sampling import PeerSampler, UniformSampler
+from repro.obs.metrics import (
+    ROUND_BOUNDARIES,
+    VOLUME_BOUNDARIES,
+    MetricsCollector,
+)
 from repro.obs.profiler import PhaseProfiler, set_refine_profiler
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracer import NULL_TRACER, node_rank
 from repro.rng import derive, make_rng, spawn
 from repro.schemes import CodingScheme, SchemeNode, resolve
@@ -96,6 +102,11 @@ class EpidemicSimulator:
         the run charges per-phase wall times (sampling / channel /
         encode / decode / refine) through rng-identical profiled
         duplicates of the hot paths.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsCollector`; the run
+        records its mergeable telemetry (counters, gauges, histograms)
+        into it after the loop finishes.  Recording reads only final
+        result state — no rng draws, no OpCounter charges.
     """
 
     def __init__(
@@ -115,6 +126,7 @@ class EpidemicSimulator:
         channel: ChannelModel | None = None,
         tracer=None,
         profiler: PhaseProfiler | None = None,
+        metrics: MetricsCollector | None = None,
     ) -> None:
         if n_nodes < 2:
             raise SimulationError(f"n_nodes must be >= 2, got {n_nodes}")
@@ -187,6 +199,7 @@ class EpidemicSimulator:
         # tracing (round-level events still fire either way).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler
+        self.metrics = metrics
         self._trace = bool(self.tracer.enabled)
         if profiler is not None:
             self._transfer_fn = self._transfer_profiled
@@ -510,18 +523,28 @@ class EpidemicSimulator:
         trace = self._trace
         result = self.result
         profiler = self.profiler
+        spans = SpanRecorder(tracer) if trace else None
         if profiler is not None:
             # Refinement happens too deep inside LTNC recoding for the
             # simulator to bracket; charge it through the module hook.
             set_refine_profiler(profiler)
         try:
+            if spans is not None:
+                spans.begin("run", scheme=self.scheme)
             for round_index in range(self.max_rounds):
                 step(round_index)
                 if trace:
                     self._trace_round(round_index)
                 if result.all_complete:
                     break
-            self._collect_counters()
+            if spans is not None:
+                with spans.wrap("collect"):
+                    self._collect_counters()
+                spans.end(rounds=result.rounds)
+            else:
+                self._collect_counters()
+            if self.metrics is not None:
+                self._record_telemetry()
             if trace:
                 tracer.counter("sessions", result.sessions)
                 tracer.counter("aborted", result.aborted)
@@ -545,6 +568,48 @@ class EpidemicSimulator:
                 self.result.recode_ops.merge(recode)
             if decode is not None:
                 self.result.decode_ops.merge(decode)
+
+    def _record_telemetry(self) -> None:
+        """Fold the finished run into the trial's metrics collector.
+
+        Pure result-state reads — deterministic given (scheme, seed),
+        so the merged fleet telemetry stays worker- and shard-count
+        invariant.  Runs after :meth:`_collect_counters` so the op
+        counters are complete.
+        """
+        m = self.metrics
+        result = self.result
+        m.label("kind", "epidemic")
+        m.label("scheme", self.scheme)
+        m.count("rounds", result.rounds)
+        m.count("nodes", self.n_nodes)
+        m.count("completed_nodes", result.completed_count)
+        m.count("sessions", result.sessions)
+        m.count("aborted", result.aborted)
+        m.count("data_transfers", result.data_transfers)
+        m.count("useful_transfers", result.useful_transfers)
+        m.count("redundant_transfers", result.redundant_transfers)
+        m.count("lost_transfers", result.lost_transfers)
+        m.count("duplicated_transfers", result.duplicated_transfers)
+        m.count("churn_events", result.churn_events)
+        m.count("recoded_packets", result.recoded_packets)
+        for op, value in sorted(result.recode_ops.counts.items()):
+            m.count(f"ops:recode:{op}", value)
+        for op, value in sorted(result.decode_ops.counts.items()):
+            m.count(f"ops:decode:{op}", value)
+        m.gauge("completed_fraction", result.completed_fraction())
+        m.gauge("abort_rate", result.abort_rate())
+        for node_id in sorted(result.completion_rounds):
+            m.observe(
+                "completion_round",
+                result.completion_rounds[node_id],
+                boundaries=ROUND_BOUNDARIES,
+            )
+            m.observe(
+                "data_until_complete",
+                result.data_until_complete.get(node_id, self.k),
+                boundaries=VOLUME_BOUNDARIES,
+            )
 
 
 def run_dissemination(

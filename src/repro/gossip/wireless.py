@@ -38,6 +38,8 @@ import numpy as np
 from repro.core.components import ConnectedComponents
 from repro.core.feedback import FeedbackState
 from repro.errors import SimulationError
+from repro.obs.metrics import ROUND_BOUNDARIES, MetricsCollector
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracer import NULL_TRACER, node_rank
 from repro.rng import make_rng, spawn
 from repro.schemes import CodingScheme, SchemeNode, resolve
@@ -183,6 +185,7 @@ class WirelessSimulator:
         seed: int | np.random.Generator | None = 0,
         node_kwargs: dict[str, object] | None = None,
         tracer=None,
+        metrics: MetricsCollector | None = None,
     ) -> None:
         self.topology = topology
         self.k = k
@@ -217,6 +220,7 @@ class WirelessSimulator:
         # Observability: round-level events only (a broadcast round is
         # the natural unit here); session detail degrades to rounds.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._trace = bool(self.tracer.enabled)
         self._trace_completed: set[int] = set()
         self._trace_prev = dict.fromkeys(
@@ -313,13 +317,20 @@ class WirelessSimulator:
         trace = self._trace
         tracer = self.tracer
         result = self.result
+        spans = SpanRecorder(tracer) if trace else None
         try:
+            if spans is not None:
+                spans.begin("run", scheme=result.scheme, snoop=self.snoop)
             for round_index in range(self.max_rounds):
                 self.step(round_index)
                 if trace:
                     self._trace_round(round_index)
                 if result.all_complete:
                     break
+            if spans is not None:
+                spans.end(rounds=result.rounds)
+            if self.metrics is not None:
+                self._record_telemetry()
             if trace:
                 tracer.counter("transmissions", result.transmissions)
                 tracer.counter("receptions", result.receptions)
@@ -330,3 +341,29 @@ class WirelessSimulator:
         finally:
             tracer.close()
         return result
+
+    def _record_telemetry(self) -> None:
+        """Fold the finished run into the trial's metrics collector.
+
+        Pure result-state reads, deterministic given the workload and
+        seed — see the epidemic simulator's twin for the contract.
+        """
+        m = self.metrics
+        result = self.result
+        m.label("kind", "wireless")
+        m.label("scheme", result.scheme)
+        m.count("rounds", result.rounds)
+        m.count("nodes", result.n_nodes)
+        m.count("completed_nodes", result.completed_count)
+        m.count("transmissions", result.transmissions)
+        m.count("receptions", result.receptions)
+        m.count("useful_receptions", result.useful_receptions)
+        m.count("smart_targets", result.smart_targets)
+        m.gauge("broadcast_gain", result.broadcast_gain())
+        m.gauge("usefulness", result.usefulness())
+        for node_id in sorted(result.completion_rounds):
+            m.observe(
+                "completion_round",
+                result.completion_rounds[node_id],
+                boundaries=ROUND_BOUNDARIES,
+            )

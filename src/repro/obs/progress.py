@@ -136,9 +136,16 @@ def render_progress(progress: FleetProgress) -> str:
     """One console line per heartbeat, e.g.
 
     ``[shard 3/8] baseline · 12/32 trials · 4.1 trials/s · ETA 5s``
+
+    Degrades gracefully on degenerate snapshots: an unknown or zero
+    shard total renders as ``?``, and while the rate EMA has no sample
+    yet (every shard so far replayed from checkpoints, say) the line
+    reads ``ETA ?`` rather than omitting the field — a watcher tailing
+    the output keeps a stable column either way.
     """
+    shards_total: object = progress.shards_total if progress.shards_total else "?"
     parts = [
-        f"[shard {progress.shards_done}/{progress.shards_total}]",
+        f"[shard {progress.shards_done}/{shards_total}]",
         progress.scenario,
         f"{progress.trials_done}/{progress.trials_total} trials",
     ]
@@ -148,6 +155,8 @@ def render_progress(progress: FleetProgress) -> str:
         parts.append(f"{progress.trials_per_sec:.1f} trials/s")
     if progress.eta_seconds is not None:
         parts.append(f"ETA {progress.eta_seconds:.0f}s")
+    elif progress.trials_done < progress.trials_total or not progress.trials_total:
+        parts.append("ETA ?")
     return parts[0] + " " + " · ".join(parts[1:])
 
 

@@ -42,11 +42,15 @@ class ObsSpec:
     profile:
         Collect per-phase wall times (sampling/channel/encode/decode/
         refine) during the run.
+    compress:
+        Write trace files gzip-compressed (``.jsonl.gz``); readers
+        decompress transparently.  Meaningless without ``trace_dir``.
     """
 
     trace_dir: str | None = None
     detail: str = "round"
     profile: bool = False
+    compress: bool = False
 
     def __post_init__(self) -> None:
         if self.detail not in TRACE_DETAILS:
@@ -70,7 +74,9 @@ class ObsSpec:
             return NULL_TRACER
         import pathlib
 
-        path = pathlib.Path(self.trace_dir) / trace_filename(scenario, seed)
+        path = pathlib.Path(self.trace_dir) / trace_filename(
+            scenario, seed, compress=self.compress
+        )
         return JsonlTracer(
             path,
             detail=self.detail,

@@ -1,0 +1,267 @@
+"""Fleet-wide telemetry persistence: per-shard files → ``telemetry.json``.
+
+The :mod:`repro.obs.metrics` collectors live inside worker processes;
+this module owns how their snapshots reach disk.  Two artifact shapes
+share the schema-versioned ``ltnc-telemetry`` v1 format:
+
+* **shard files** (``telemetry-<scenario>-<index>.json``), written by
+  :class:`TelemetryStore` next to the fleet's checkpoints.  Each holds
+  one shard's merged trial telemetry plus the same grid fingerprint and
+  shard identity the checkpoint carries, and is loaded with the same
+  paranoia (anything stale, corrupt or from a different grid is
+  recomputed, with a warning);
+* the **fleet file** (``telemetry.json``), the atomic shard-by-shard
+  merge over every scenario, written once per completed run.
+
+``telemetry.json`` deliberately contains **no wall-clock content** — no
+timestamps, durations, host names or rates.  Everything in it is a
+deterministic function of (scenario, trials, master seed), which is
+what lets the invariance tests pin it byte-identical across worker
+counts × shard counts × interrupt/resume cycles.  Wall-clock telemetry
+belongs to the trace/progress artifacts, which are explicitly
+host-local.
+
+Fleet file shape::
+
+    {"format": "ltnc-telemetry", "version": 1,
+     "scenarios": {"baseline": {"n_trials": 25, "labels": {...},
+                   "counters": {...}, "gauges": {...},
+                   "histograms": {...}}}}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+import re
+
+from repro.errors import SimulationError
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_VERSION",
+    "TelemetryStore",
+    "read_telemetry",
+    "telemetry_payload",
+    "validate_telemetry",
+    "write_telemetry",
+]
+
+TELEMETRY_FORMAT = "ltnc-telemetry"
+TELEMETRY_VERSION = 1
+
+logger = logging.getLogger(__name__)
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe scenario label (same rule as the checkpoints)."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "scenario"
+
+
+def telemetry_payload(
+    sections: dict[str, dict[str, object]],
+) -> dict[str, object]:
+    """The fleet-wide ``ltnc-telemetry`` v1 payload for *sections*.
+
+    *sections* maps scenario name to its merged telemetry section (an
+    ``n_trials`` count plus a
+    :meth:`~repro.obs.metrics.MetricsCollector.snapshot`).  Scenario
+    order is canonicalised by name so the payload serialises
+    identically however the grid was sharded.
+    """
+    return {
+        "format": TELEMETRY_FORMAT,
+        "version": TELEMETRY_VERSION,
+        "scenarios": {name: sections[name] for name in sorted(sections)},
+    }
+
+
+def validate_telemetry(
+    payload: object, source: str = "telemetry"
+) -> dict[str, object]:
+    """Check a fleet ``telemetry.json`` payload; return it on success.
+
+    Raises ``ValueError`` listing every violation, prefixed with
+    *source* — the shape the CI smoke step and ``tracestats
+    --telemetry`` rely on.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: telemetry payload is not a JSON object")
+    if payload.get("format") != TELEMETRY_FORMAT:
+        errors.append(
+            f"format {payload.get('format')!r} != {TELEMETRY_FORMAT!r}"
+        )
+    if payload.get("version") != TELEMETRY_VERSION:
+        errors.append(
+            f"version {payload.get('version')!r} != {TELEMETRY_VERSION}"
+        )
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        errors.append("scenarios section missing or empty")
+        scenarios = {}
+    for name, section in scenarios.items():
+        if not isinstance(section, dict):
+            errors.append(f"scenarios[{name}] is not an object")
+            continue
+        n_trials = section.get("n_trials")
+        if not isinstance(n_trials, int) or n_trials < 1:
+            errors.append(f"scenarios[{name}].n_trials not a positive int")
+        counters = section.get("counters")
+        if not isinstance(counters, dict):
+            errors.append(f"scenarios[{name}].counters missing")
+        elif any(
+            not isinstance(v, int) or v < 0 for v in counters.values()
+        ):
+            errors.append(f"scenarios[{name}] has a negative/non-int counter")
+        for hist_name, hist in (section.get("histograms") or {}).items():
+            try:
+                Histogram.from_dict(hist)
+            except (SimulationError, KeyError, TypeError) as exc:
+                errors.append(
+                    f"scenarios[{name}].histograms[{hist_name}]: {exc}"
+                )
+    if errors:
+        raise ValueError(f"{source}: invalid telemetry: " + "; ".join(errors))
+    return payload
+
+
+def write_telemetry(
+    path: str | pathlib.Path, sections: dict[str, dict[str, object]]
+) -> pathlib.Path:
+    """Atomically write the fleet-wide telemetry file; return its path."""
+    # Lazy import: scenarios.aggregate imports scenarios.spec, which
+    # imports repro.obs — a module-level import here would close the
+    # cycle through the package __init__ (same pattern as progress.py).
+    from repro.scenarios.aggregate import atomic_write_text
+
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = telemetry_payload(sections)
+    return atomic_write_text(
+        out, json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    )
+
+
+def read_telemetry(path: str | pathlib.Path) -> dict[str, object]:
+    """Load and validate a fleet ``telemetry.json``."""
+    path = pathlib.Path(path)
+    payload = json.loads(path.read_text())
+    return validate_telemetry(payload, source=str(path))
+
+
+class TelemetryStore:
+    """One JSON file per shard's telemetry, next to its checkpoint.
+
+    Mirrors :class:`~repro.scenarios.fleet.CheckpointStore`: ``save``
+    writes atomically, ``load`` is paranoid — a telemetry file is
+    replayed only when its format, version, fingerprint and shard
+    identity all match the live plan, and any other state (missing
+    file included, since a checkpoint without its telemetry cannot be
+    replayed into a telemetry-collecting run) means the shard is
+    recomputed.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, shard) -> pathlib.Path:
+        return (
+            self.directory
+            / f"telemetry-{_slug(shard.scenario.name)}-{shard.shard_index:04d}.json"
+        )
+
+    def save(
+        self,
+        shard,
+        fingerprint: str,
+        section: dict[str, object],
+    ) -> pathlib.Path:
+        """Persist one shard's merged telemetry section atomically."""
+        from repro.scenarios.aggregate import atomic_write_text
+
+        payload = {
+            "format": TELEMETRY_FORMAT,
+            "version": TELEMETRY_VERSION,
+            "kind": "shard",
+            "fingerprint": fingerprint,
+            "scenario": shard.scenario.name,
+            "master_seed": shard.master_seed,
+            "shard_index": shard.shard_index,
+            "trial_indices": list(shard.trial_indices),
+            "telemetry": section,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return atomic_write_text(
+            self.path_for(shard),
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+
+    def load(self, shard, fingerprint: str) -> dict[str, object] | None:
+        """The shard's telemetry section, or ``None`` if not reusable."""
+        path = self.path_for(shard)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            logger.warning(
+                "telemetry %s: missing for checkpointed shard; recomputing",
+                path,
+            )
+            return None
+        except OSError as exc:
+            logger.warning(
+                "telemetry %s: unreadable (%s); recomputing", path, exc
+            )
+            return None
+        except json.JSONDecodeError as exc:
+            logger.warning(
+                "telemetry %s: corrupt JSON (%s); recomputing", path, exc
+            )
+            return None
+        if not isinstance(payload, dict):
+            logger.warning(
+                "telemetry %s: corrupt JSON (not an object); recomputing",
+                path,
+            )
+            return None
+        if (
+            payload.get("format") != TELEMETRY_FORMAT
+            or payload.get("version") != TELEMETRY_VERSION
+            or payload.get("kind") != "shard"
+        ):
+            logger.warning(
+                "telemetry %s: format/version mismatch "
+                "(got %r v%r kind=%r); recomputing",
+                path,
+                payload.get("format"),
+                payload.get("version"),
+                payload.get("kind"),
+            )
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            logger.warning(
+                "telemetry %s: grid fingerprint mismatch; recomputing", path
+            )
+            return None
+        if (
+            payload.get("scenario") != shard.scenario.name
+            or payload.get("shard_index") != shard.shard_index
+            or payload.get("master_seed") != shard.master_seed
+            or payload.get("trial_indices") != list(shard.trial_indices)
+        ):
+            logger.warning(
+                "telemetry %s: shard identity mismatch; recomputing", path
+            )
+            return None
+        section = payload.get("telemetry")
+        if not isinstance(section, dict) or not isinstance(
+            section.get("n_trials"), int
+        ):
+            logger.warning(
+                "telemetry %s: malformed telemetry section; recomputing",
+                path,
+            )
+            return None
+        return section

@@ -37,6 +37,7 @@ through ``json.loads`` line by line with no framing state.
 
 from __future__ import annotations
 
+import gzip
 import json
 import pathlib
 import re
@@ -101,6 +102,11 @@ class NullTracer:
     def span(self, name: str, **attrs: object) -> _NullSpan:
         return _NULL_SPAN
 
+    def emit_span(
+        self, name: str, start: float, duration: float, **attrs: object
+    ) -> None:
+        return None
+
     def close(self) -> None:
         return None
 
@@ -159,6 +165,11 @@ class JsonlTracer:
         Extra JSON-able fields for the header record (scenario name,
         seed, ...), so a trace is self-describing.
 
+    A path ending in ``.gz`` streams through :mod:`gzip` (text mode)
+    instead — session-detail traces compress an order of magnitude —
+    and :func:`read_trace` decompresses transparently by the same
+    suffix rule.
+
     The tracer never draws randomness and never touches simulation
     state; closing is idempotent and also happens at garbage collection
     so worker-pool trials cannot leak unflushed buffers.
@@ -178,7 +189,10 @@ class JsonlTracer:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.detail = detail
         self.enabled = True
-        self._fh: IO[str] | None = open(self.path, "w")
+        if self.path.suffix == ".gz":
+            self._fh: IO[str] | None = gzip.open(self.path, "wt")
+        else:
+            self._fh = open(self.path, "w")
         self._t0 = time.monotonic()
         self._emit(
             {
@@ -223,6 +237,26 @@ class JsonlTracer:
     def span(self, name: str, **attrs: object) -> _Span:
         """Context manager timing a block; emits one span record."""
         return _Span(self, name, attrs)
+
+    def emit_span(
+        self, name: str, start: float, duration: float, **attrs: object
+    ) -> None:
+        """One completed span with explicit monotonic *start*/*duration*.
+
+        The structured form :class:`~repro.obs.spans.SpanRecorder` uses
+        for begin/end pairs that do not fit a single with-block; *start*
+        is a raw ``time.monotonic()`` reading, converted to a header
+        offset here.
+        """
+        self._emit(
+            {
+                "kind": "span",
+                "name": name,
+                "t": round(start - self._t0, 6),
+                "dt": round(duration, 6),
+                **attrs,
+            }
+        )
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -271,10 +305,11 @@ def node_rank(node: object) -> int | None:
     return None
 
 
-def trace_filename(scenario: str, seed: int) -> str:
+def trace_filename(scenario: str, seed: int, compress: bool = False) -> str:
     """Filesystem-safe per-trial trace filename."""
     slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", scenario) or "scenario"
-    return f"trace-{slug}-{seed}.jsonl"
+    suffix = ".jsonl.gz" if compress else ".jsonl"
+    return f"trace-{slug}-{seed}{suffix}"
 
 
 def read_trace(path: str | pathlib.Path) -> list[dict[str, object]]:
@@ -282,10 +317,13 @@ def read_trace(path: str | pathlib.Path) -> list[dict[str, object]]:
 
     Raises ``ValueError`` naming the offending line on malformed JSON
     or non-object records, so a truncated trace fails loudly instead of
-    silently dropping its tail.
+    silently dropping its tail.  Files ending in ``.gz`` are
+    decompressed transparently.
     """
     records: list[dict[str, object]] = []
-    with open(path) as fh:
+    path = pathlib.Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

@@ -116,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--stop-after-shards requires --checkpoint-dir")
     if args.trace_detail is not None and args.trace_dir is None:
         parser.error("--trace-detail requires --trace-dir")
+    if args.trace_compress and args.trace_dir is None:
+        parser.error("--trace-compress requires --trace-dir")
     if args.scenario != "all" and args.scenario not in PRESETS:
         catalogue = ", ".join(preset_names())
         parser.error(

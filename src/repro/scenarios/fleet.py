@@ -58,16 +58,20 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsCollector
 from repro.obs.progress import (
     FleetProgress,
     ProgressTracker,
     write_progress,
 )
+from repro.obs.telemetry import TelemetryStore, write_telemetry
 from repro.scenarios.aggregate import ScenarioAggregate, atomic_write_text
 from repro.scenarios.runner import (
     TrialSpec,
+    merge_trial_snapshots,
     parallel_map,
     run_trial,
+    run_trial_telemetry,
     trial_seed,
 )
 from repro.scenarios.spec import ScenarioSpec
@@ -356,6 +360,18 @@ class FleetRunner:
     poll the fleet without attaching to its stdout.  Progress never
     feeds back into scheduling or seeding — results are byte-identical
     with and without it.
+
+    ``telemetry_dir`` (or ``collect_telemetry=True`` for in-memory
+    collection only) switches workers to the telemetry-collecting trial
+    function: per-trial metric snapshots are merged per shard, persisted
+    next to the checkpoints (``telemetry-<scenario>-<index>.json``) when
+    checkpointing, and — once the whole grid finished — merged shard by
+    shard into an atomic fleet-wide ``telemetry.json``.  A resumed shard
+    replays its saved telemetry; a checkpoint whose telemetry file is
+    missing or stale is recomputed whole, so the merged telemetry (like
+    the aggregates) is byte-identical across worker counts, shard counts
+    and interrupt/resume cycles.  The merged sections stay readable on
+    :attr:`last_telemetry` after a completed run.
     """
 
     def __init__(
@@ -366,6 +382,8 @@ class FleetRunner:
         resume: bool = False,
         stop_after_shards: int | None = None,
         progress=None,
+        telemetry_dir: str | pathlib.Path | None = None,
+        collect_telemetry: bool = False,
     ) -> None:
         if n_workers < 1:
             raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
@@ -387,6 +405,20 @@ class FleetRunner:
         self.resume = resume
         self.stop_after_shards = stop_after_shards
         self.progress = progress
+        self.telemetry_dir = (
+            pathlib.Path(telemetry_dir) if telemetry_dir is not None else None
+        )
+        self.collect_telemetry = (
+            collect_telemetry or telemetry_dir is not None
+        )
+        self.telemetry_store = (
+            TelemetryStore(checkpoint_dir)
+            if checkpoint_dir is not None and self.collect_telemetry
+            else None
+        )
+        #: Scenario name -> merged telemetry section, from the last
+        #: *completed* run (``None`` after an interrupted one).
+        self.last_telemetry: dict[str, dict[str, object]] | None = None
 
     # ------------------------------------------------------------------
     def _resolve_shards(self, n_trials: int) -> int:
@@ -426,19 +458,42 @@ class FleetRunner:
             shards_total=len(shards),
             trials_total=sum(len(s.trial_indices) for s in shards),
         )
+        self.last_telemetry = None
+        telemetry: dict[str, MetricsCollector] | None = None
+        telemetry_trials: dict[str, int] | None = None
+        if self.collect_telemetry:
+            telemetry = {s.name: MetricsCollector() for s in scenario_list}
+            telemetry_trials = {s.name: 0 for s in scenario_list}
         executed = 0
         for position, shard in enumerate(shards):
             records = None
+            section = None
             replayed = False
             started = time.monotonic()
             if self.store is not None and self.resume:
                 records = self.store.load(shard, fingerprint)
+                if records is not None and self.collect_telemetry:
+                    # A checkpoint is replayable into a telemetry run
+                    # only together with its telemetry file; otherwise
+                    # the whole shard is recomputed so the merged
+                    # telemetry stays resume-invariant.
+                    section = (
+                        self.telemetry_store.load(shard, fingerprint)
+                        if self.telemetry_store is not None
+                        else None
+                    )
+                    if section is None:
+                        records = None
                 replayed = records is not None
             if records is None:
-                records = self._execute_shard(shard, fingerprint)
+                records, section = self._execute_shard(shard, fingerprint)
                 executed += 1
             for record in records:
                 aggregates[shard.scenario.name].add_record(record)
+            if telemetry is not None and section is not None:
+                name = shard.scenario.name
+                telemetry[name].merge_snapshot(section)
+                telemetry_trials[name] += int(section.get("n_trials", 0))
             self._heartbeat(
                 tracker.shard_finished(
                     shard.scenario.name,
@@ -454,6 +509,19 @@ class FleetRunner:
                 and position + 1 < len(shards)
             ):
                 raise FleetStop(position + 1, len(shards))
+        if telemetry is not None:
+            sections = {
+                name: {
+                    "n_trials": telemetry_trials[name],
+                    **collector.snapshot(),
+                }
+                for name, collector in telemetry.items()
+            }
+            self.last_telemetry = sections
+            if self.telemetry_dir is not None:
+                write_telemetry(
+                    self.telemetry_dir / "telemetry.json", sections
+                )
         return aggregates
 
     def _heartbeat(self, beat: FleetProgress) -> None:
@@ -465,10 +533,20 @@ class FleetRunner:
 
     def _execute_shard(
         self, shard: ShardSpec, fingerprint: str
-    ) -> list[dict[str, object]]:
-        """Run one shard on the pool; checkpoint before returning."""
+    ) -> tuple[list[dict[str, object]], dict[str, object] | None]:
+        """Run one shard on the pool; checkpoint before returning.
+
+        Returns ``(trial records, telemetry section)``; the section is
+        ``None`` when telemetry collection is off.
+        """
         trials = shard.trials()
-        results = parallel_map(run_trial, trials, self.n_workers)
+        section: dict[str, object] | None = None
+        if self.collect_telemetry:
+            pairs = parallel_map(run_trial_telemetry, trials, self.n_workers)
+            results = [result for result, _ in pairs]
+            section = merge_trial_snapshots([snap for _, snap in pairs])
+        else:
+            results = parallel_map(run_trial, trials, self.n_workers)
         records: list[dict[str, object]] = []
         for trial, result in zip(trials, results):
             record: dict[str, object] = {
@@ -479,4 +557,6 @@ class FleetRunner:
             records.append(record)
         if self.store is not None:
             self.store.save(shard, fingerprint, records)
-        return records
+            if section is not None and self.telemetry_store is not None:
+                self.telemetry_store.save(shard, fingerprint, section)
+        return records, section

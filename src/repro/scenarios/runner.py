@@ -19,12 +19,15 @@ embarrassingly parallel work the seed ran serially.  The
 
 from __future__ import annotations
 
+import pathlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import SimulationError
 from repro.gossip.metrics import DisseminationResult
+from repro.obs.metrics import MetricsCollector
+from repro.obs.telemetry import write_telemetry
 from repro.rng import derive_seed
 from repro.scenarios.aggregate import ScenarioAggregate
 from repro.scenarios.spec import ScenarioSpec
@@ -33,8 +36,10 @@ __all__ = [
     "TrialSpec",
     "TrialRunner",
     "default_chunksize",
+    "merge_trial_snapshots",
     "parallel_map",
     "run_trial",
+    "run_trial_telemetry",
     "trial_seed",
 ]
 
@@ -83,6 +88,35 @@ def run_trial(trial: TrialSpec) -> DisseminationResult:
     return trial.scenario.run(trial.seed)
 
 
+def run_trial_telemetry(trial: TrialSpec):
+    """Execute one trial and return ``(result, telemetry snapshot)``.
+
+    The telemetry-collecting twin of :func:`run_trial`: the worker
+    builds a fresh :class:`~repro.obs.metrics.MetricsCollector`, the
+    simulator records into it after the run, and the snapshot rides
+    back to the parent in-band (plain dicts pickle like the result
+    does).  Collection never draws rng or charges OpCounters, so the
+    *result* half is bit-identical to what :func:`run_trial` returns.
+    """
+    collector = MetricsCollector()
+    result = trial.scenario.build(trial.seed, metrics=collector).run()
+    return result, collector.snapshot()
+
+
+def merge_trial_snapshots(
+    snapshots: Sequence[dict[str, object]],
+) -> dict[str, object]:
+    """Fold per-trial snapshots (in trial order) into one section.
+
+    Returns the ``n_trials``-annotated section shape the telemetry
+    artifacts carry per scenario.
+    """
+    merged = MetricsCollector()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return {"n_trials": len(snapshots), **merged.snapshot()}
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
@@ -123,12 +157,30 @@ def parallel_map(
 
 
 class TrialRunner:
-    """Fans a scenario × seed grid out across worker processes."""
+    """Fans a scenario × seed grid out across worker processes.
 
-    def __init__(self, n_workers: int = 1) -> None:
+    With ``telemetry_dir`` set, every trial runs through
+    :func:`run_trial_telemetry`, per-trial snapshots are merged in
+    trial order, and a fleet-shaped ``telemetry.json`` is written to
+    that directory after each :meth:`run` / :meth:`run_grid`.  The
+    merged telemetry (and the aggregates) are byte-identical whatever
+    ``n_workers`` is; the last run's sections stay readable on
+    :attr:`last_telemetry`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        telemetry_dir: str | pathlib.Path | None = None,
+    ) -> None:
         if n_workers < 1:
             raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
+        self.telemetry_dir = (
+            pathlib.Path(telemetry_dir) if telemetry_dir is not None else None
+        )
+        #: Scenario name -> merged telemetry section, from the last run.
+        self.last_telemetry: dict[str, dict[str, object]] | None = None
 
     # ------------------------------------------------------------------
     def trials_for(
@@ -146,13 +198,7 @@ class TrialRunner:
         self, scenario: ScenarioSpec, n_trials: int, master_seed: int = 0
     ) -> ScenarioAggregate:
         """Run ``n_trials`` Monte-Carlo repetitions of one scenario."""
-        trials = self.trials_for(scenario, n_trials, master_seed)
-        aggregate = ScenarioAggregate(scenario, master_seed)
-        for trial, result in zip(
-            trials, parallel_map(run_trial, trials, self.n_workers)
-        ):
-            aggregate.add(trial.trial_index, trial.seed, result)
-        return aggregate
+        return self.run_grid([scenario], n_trials, master_seed)[scenario.name]
 
     def run_grid(
         self,
@@ -172,7 +218,12 @@ class TrialRunner:
         grid: list[TrialSpec] = []
         for scenario in scenario_list:
             grid.extend(self.trials_for(scenario, n_trials, master_seed))
-        results = parallel_map(run_trial, grid, self.n_workers)
+        collect = self.telemetry_dir is not None
+        if collect:
+            pairs = parallel_map(run_trial_telemetry, grid, self.n_workers)
+            results = [result for result, _ in pairs]
+        else:
+            results = parallel_map(run_trial, grid, self.n_workers)
         aggregates = {
             s.name: ScenarioAggregate(s, master_seed) for s in scenario_list
         }
@@ -180,4 +231,17 @@ class TrialRunner:
             aggregates[trial.scenario.name].add(
                 trial.trial_index, trial.seed, result
             )
+        if collect:
+            by_scenario: dict[str, list[dict[str, object]]] = {
+                s.name: [] for s in scenario_list
+            }
+            # grid is in trial order per scenario, so these lists are too.
+            for trial, (_, snapshot) in zip(grid, pairs):
+                by_scenario[trial.scenario.name].append(snapshot)
+            sections = {
+                name: merge_trial_snapshots(snaps)
+                for name, snaps in by_scenario.items()
+            }
+            self.last_telemetry = sections
+            write_telemetry(self.telemetry_dir / "telemetry.json", sections)
         return aggregates

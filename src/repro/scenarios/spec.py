@@ -26,6 +26,7 @@ from repro.errors import SimulationError
 from repro.gossip.channel import ChannelModel, ChurnPhase, HeterogeneousChannel
 from repro.gossip.peer_sampling import PeerSampler, ViewSampler
 from repro.gossip.simulator import EpidemicSimulator, Feedback
+from repro.obs.spans import SpanRecorder
 from repro.obs.spec import ObsSpec
 from repro.rng import derive
 from repro.schemes import resolve
@@ -209,7 +210,7 @@ class ScenarioSpec:
             rng=derive(seed, "sampler", self.name),
         )
 
-    def build(self, seed: int):
+    def build(self, seed: int, metrics=None):
         """Compile the spec into a ready-to-run simulator.
 
         The same ``(spec, seed)`` pair always builds a bit-identical
@@ -219,6 +220,11 @@ class ScenarioSpec:
         :class:`EpidemicSimulator`, or a
         :class:`~repro.content.simulator.CatalogueSimulator` when the
         spec carries a ``content`` catalogue.
+
+        *metrics* is an optional
+        :class:`~repro.obs.metrics.MetricsCollector` the simulator
+        records its mergeable telemetry into after the run; like the
+        tracer, it is never part of the workload identity.
         """
         sampler = self._sampler(seed)
         channel = self.channel()
@@ -237,36 +243,46 @@ class ScenarioSpec:
         if self.obs is not None and self.obs.enabled:
             tracer = self.obs.build_tracer(self.name, seed)
             profiler = self.obs.build_profiler()
+        # With tracing off this is the shared null recorder path: the
+        # wrap() below returns a singleton no-op context, no clock reads.
+        spans = SpanRecorder(tracer)
         if self.content is not None:
-            return self._build_catalogue(
-                seed, sampler, channel, graph, tracer
+            with spans.wrap("build", scenario=self.name):
+                return self._build_catalogue(
+                    seed, sampler, channel, graph, tracer, metrics
+                )
+        with spans.wrap("build", scenario=self.name):
+            sim = EpidemicSimulator(
+                self.scheme,
+                self.n_nodes,
+                self.k,
+                feedback=Feedback(self.feedback),
+                source_pushes=self.source_pushes,
+                n_sources=self.n_sources,
+                max_rounds=self.max_rounds,
+                seed=seed,
+                node_kwargs=dict(self.node_kwargs),
+                sampler=sampler,
+                channel=channel,
+                tracer=tracer,
+                profiler=profiler,
+                metrics=metrics,
             )
-        sim = EpidemicSimulator(
-            self.scheme,
-            self.n_nodes,
-            self.k,
-            feedback=Feedback(self.feedback),
-            source_pushes=self.source_pushes,
-            n_sources=self.n_sources,
-            max_rounds=self.max_rounds,
-            seed=seed,
-            node_kwargs=dict(self.node_kwargs),
-            sampler=sampler,
-            channel=channel,
-            tracer=tracer,
-            profiler=profiler,
-        )
-        n_warm = int(round(self.warm_fraction * self.n_nodes))
-        if n_warm and self.warm_packets:
-            warm_rng = derive(seed, "prewarm", self.name)
-            warm_ids = [
-                int(i)
-                for i in warm_rng.choice(self.n_nodes, size=n_warm, replace=False)
-            ]
-            sim.prewarm(warm_ids, self.warm_packets)
+            n_warm = int(round(self.warm_fraction * self.n_nodes))
+            if n_warm and self.warm_packets:
+                warm_rng = derive(seed, "prewarm", self.name)
+                warm_ids = [
+                    int(i)
+                    for i in warm_rng.choice(
+                        self.n_nodes, size=n_warm, replace=False
+                    )
+                ]
+                sim.prewarm(warm_ids, self.warm_packets)
         return sim
 
-    def _build_catalogue(self, seed, sampler, channel, graph, tracer=None):
+    def _build_catalogue(
+        self, seed, sampler, channel, graph, tracer=None, metrics=None
+    ):
         """Compile the ``content`` field into a CatalogueSimulator.
 
         All catalogue randomness (demand assignment, cache placement,
@@ -331,6 +347,7 @@ class ScenarioSpec:
             sampler=sampler,
             channel=channel,
             tracer=tracer,
+            metrics=metrics,
         )
 
     def run(self, seed: int):

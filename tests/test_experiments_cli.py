@@ -35,6 +35,7 @@ BAD_ARGS = [
         "--trace-detail requires --trace-dir",
     ),
     (["--trace-dir", "x", "--trace-detail", "packet"], "invalid choice"),
+    (["--trace-compress"], "--trace-compress requires --trace-dir"),
 ]
 
 
@@ -126,3 +127,40 @@ def test_sweep_cli_tracing_and_progress_leave_table_unchanged(
 
     argv = [str(p) for p in sorted(traces.glob("trace-*.jsonl"))]
     assert tracestats.main(["--validate"] + argv) == 0
+
+
+def test_sweep_cli_telemetry_and_compressed_traces(
+    capsys, tmp_path, monkeypatch
+):
+    # --telemetry-dir and --trace-compress are free too: same table,
+    # plus a validating telemetry.json and .jsonl.gz traces.
+    monkeypatch.setenv("LTNC_SCALE", "quick")
+    base = ["--trials", "2", "--seed", "7", "--schemes", "wc"]
+    assert scheme_compare.main(base) == 0
+    golden = capsys.readouterr().out
+
+    traces = tmp_path / "traces"
+    telemetry = tmp_path / "telemetry"
+    observed = base + [
+        "--trace-dir", str(traces),
+        "--trace-compress",
+        "--telemetry-dir", str(telemetry),
+    ]
+    assert scheme_compare.main(observed) == 0
+    assert capsys.readouterr().out == golden
+    assert len(list(traces.glob("trace-*.jsonl.gz"))) == 2
+
+    from repro.experiments import tracestats
+    from repro.obs.telemetry import read_telemetry, validate_telemetry
+
+    payload = read_telemetry(telemetry / "telemetry.json")
+    validate_telemetry(payload)
+    assert all(
+        section["n_trials"] == 2
+        for section in payload["scenarios"].values()
+    )
+    argv = [str(p) for p in sorted(traces.glob("trace-*.jsonl.gz"))]
+    assert tracestats.main(
+        ["--validate", "--telemetry", str(telemetry / "telemetry.json")]
+        + argv
+    ) == 0

@@ -340,3 +340,140 @@ def test_tracestats_cli_fails_on_invalid_trace(tmp_path, capsys):
     path.write_text('{"kind": "event", "name": "round", "t": 0.0}\n')
     assert tracestats.main(["--validate", str(path)]) == 1
     assert "INVALID" in capsys.readouterr().err
+
+
+# -- gzip traces ---------------------------------------------------------
+def test_trace_filename_compress_flag():
+    assert trace_filename("baseline", 3, compress=True) == (
+        "trace-baseline-3.jsonl.gz"
+    )
+    assert trace_filename("baseline", 3) == "trace-baseline-3.jsonl"
+
+
+def test_jsonl_tracer_gzip_roundtrip(tmp_path):
+    import gzip
+
+    path = tmp_path / trace_filename("s", 7, compress=True)
+    with JsonlTracer(path, meta={"scenario": "s", "seed": 7}) as tracer:
+        tracer.event("round", round=0, completed=1)
+        with tracer.span("run"):
+            pass
+    # The bytes on disk really are gzip...
+    with gzip.open(path, "rt") as fh:
+        assert json.loads(fh.readline())["kind"] == "header"
+    # ...and read_trace reads it transparently, same shape as plain.
+    records = read_trace(path)
+    assert [r["kind"] for r in records] == ["header", "event", "span"]
+    validate_trace(records, source=str(path))
+
+
+def test_emit_span_records_duration_and_depth(tmp_path):
+    import time as time_module
+
+    path = tmp_path / "t.jsonl"
+    with JsonlTracer(path) as tracer:
+        tracer.emit_span("collect", time_module.monotonic(), 0.25, depth=1)
+    record = read_trace(path)[1]
+    assert record["kind"] == "span" and record["name"] == "collect"
+    assert record["dt"] == 0.25 and record["depth"] == 1
+    assert record["t"] >= 0
+    # NullTracer's twin is inert.
+    NULL_TRACER.emit_span("collect", 0.0, 0.1)
+
+
+# -- progress degradation ------------------------------------------------
+def test_render_progress_degrades_on_zero_totals():
+    from repro.obs.progress import FleetProgress
+
+    beat = FleetProgress(
+        scenario="s",
+        shard_index=0,
+        shards_done=0,
+        shards_total=0,
+        trials_done=0,
+        trials_total=0,
+        replayed=False,
+        trials_per_sec=None,
+        eta_seconds=None,
+    )
+    line = render_progress(beat)  # must not divide by zero
+    assert "[shard 0/?]" in line
+    assert "ETA ?" in line
+
+
+def test_render_progress_unknown_rate_mid_run_shows_eta_placeholder():
+    # All shards so far replayed from checkpoints: no rate sample yet.
+    tracker = ProgressTracker(shards_total=4, trials_total=40)
+    beat = tracker.shard_finished("s", 0, n_trials=10, seconds=0.0, replayed=True)
+    assert beat.trials_per_sec is None and beat.eta_seconds is None
+    assert "ETA ?" in render_progress(beat)
+    # Once every trial is done there is nothing left to estimate.
+    done = ProgressTracker(shards_total=1, trials_total=10)
+    final = done.shard_finished("s", 0, n_trials=10, seconds=0.0, replayed=True)
+    assert "ETA" not in render_progress(final)
+
+
+# -- profiler exception safety -------------------------------------------
+def test_phase_profiler_charges_raising_phase_and_keeps_accounting():
+    p = PhaseProfiler()
+    with pytest.raises(RuntimeError, match="boom"):
+        with p.phase("encode"):
+            raise RuntimeError("boom")
+    # The aborted phase was still charged (once), and later phases are
+    # unaffected: no leaked timer state, no double-charge.
+    assert p.calls["encode"] == 1
+    assert p.seconds["encode"] >= 0.0
+    with p.phase("decode"):
+        pass
+    snap = p.snapshot()
+    assert snap["decode"]["calls"] == 1
+    assert snap["encode"]["calls"] == 1
+    assert abs(p.total_seconds() - (p.seconds["encode"] + p.seconds["decode"])) < 1e-9
+
+
+# -- tracestats spans / telemetry ----------------------------------------
+def test_span_summary_view():
+    from repro.experiments.tracestats import span_summary
+
+    records = _trace_records() + [
+        {"kind": "span", "name": "run", "t": 0.0, "dt": 0.5, "depth": 0},
+        {"kind": "span", "name": "collect", "t": 0.4, "dt": 0.1, "depth": 1},
+        {"kind": "span", "name": "run", "t": 0.6, "dt": 0.3, "depth": 0},
+    ]
+    table = span_summary(records)
+    assert list(table) == ["collect", "run"]
+    assert table["run"]["calls"] == 2
+    assert table["run"]["seconds"] == pytest.approx(0.8)
+    assert table["run"]["mean"] == pytest.approx(0.4)
+    assert table["run"]["max"] == pytest.approx(0.5)
+    assert table["collect"]["max_depth"] == 1
+    assert trace_summary(records)["spans"]["run"]["calls"] == 2
+
+
+def test_tracestats_cli_spans_and_telemetry(tmp_path, capsys):
+    from repro.obs.telemetry import write_telemetry
+
+    path = tmp_path / "t.jsonl"
+    records = _trace_records() + [
+        {"kind": "span", "name": "run", "t": 0.0, "dt": 0.5, "depth": 0},
+    ]
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    telemetry = tmp_path / "telemetry.json"
+    write_telemetry(
+        telemetry, {"s": {"n_trials": 2, "counters": {"rounds": 9}}}
+    )
+    assert tracestats.main(
+        ["--spans", "--telemetry", str(telemetry), str(path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "span" in out and "run" in out
+    assert f"OK {telemetry}" in out and "trials=2" in out
+    # --telemetry alone (no traces) is a valid invocation...
+    assert tracestats.main(["--telemetry", str(telemetry)]) == 0
+    capsys.readouterr()
+    # ...and an invalid telemetry file exits 1.
+    telemetry.write_text('{"format": "wrong"}')
+    assert tracestats.main(["--telemetry", str(telemetry)]) == 1
+    assert "INVALID" in capsys.readouterr().err

@@ -266,3 +266,59 @@ def test_atomic_write_cleans_tmp_when_replace_fails(tmp_path, monkeypatch):
     else:  # pragma: no cover - the patch guarantees the raise
         raise AssertionError("expected OSError")
     assert list(tmp_path.iterdir()) == []  # no stray temp file
+
+
+# -- telemetry is free ---------------------------------------------------
+def test_telemetry_collection_changes_nothing_for_every_scheme():
+    # The metrics collector hangs off the simulator but records only
+    # after the run: rng streams and OpCounter snapshots stay
+    # byte-identical, scheme by scheme.
+    from repro.obs import MetricsCollector
+
+    for scheme in available_schemes():
+        spec = _spec(scheme)
+        plain = _result_json(spec)
+        collector = MetricsCollector()
+        collected = json.dumps(
+            spec.build(SEED, metrics=collector).run().to_dict(),
+            sort_keys=True,
+        )
+        assert collected == plain, f"telemetry perturbed {scheme}"
+        snap = collector.snapshot()
+        assert snap["counters"]["rounds"] > 0
+        assert snap["labels"]["scheme"] == scheme
+
+
+def test_spans_compose_with_trace_and_telemetry(tmp_path):
+    # Full observability stack on: spans + round trace + telemetry +
+    # gzip. Still byte-identical results, and the compressed trace
+    # carries the span records.
+    from repro.obs import MetricsCollector, read_trace
+
+    spec = _spec("ltnc")
+    plain = _result_json(spec)
+    collector = MetricsCollector()
+    stacked = json.dumps(
+        spec.with_(obs=ObsSpec(trace_dir=tmp_path, compress=True))
+        .build(SEED, metrics=collector)
+        .run()
+        .to_dict(),
+        sort_keys=True,
+    )
+    assert stacked == plain
+    trace = next(tmp_path.glob("trace-*.jsonl.gz"))
+    spans = [r for r in read_trace(trace) if r["kind"] == "span"]
+    assert {r["name"] for r in spans} >= {"build", "run", "collect"}
+    run_span = next(r for r in spans if r["name"] == "run")
+    assert run_span["rounds"] == collector.counters["rounds"]
+
+
+def test_gzip_tracing_changes_nothing_and_compresses(tmp_path):
+    spec = _spec("ltnc")
+    plain = _result_json(spec)
+    compressed = _result_json(
+        spec.with_(obs=ObsSpec(trace_dir=tmp_path, compress=True))
+    )
+    assert compressed == plain
+    assert list(tmp_path.glob("trace-*.jsonl.gz"))
+    assert not list(tmp_path.glob("*.jsonl"))

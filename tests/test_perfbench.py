@@ -66,6 +66,20 @@ def test_fleet_bench_reports_throughput():
     assert entry["n_trials"] == 6 and entry["n_shards"] == 3
     assert entry["trials_per_sec"] > 0
     assert entry["completed_fraction"] == 1.0
+    # v4: the fleet row carries the workload's deterministic counters.
+    telemetry = entry["telemetry"]
+    assert telemetry["n_trials"] == 6
+    assert telemetry["counters"]["rounds"] > 0
+    assert telemetry["counters"]["completed_nodes"] == 6 * 6
+
+
+def test_fleet_bench_telemetry_counters_are_deterministic():
+    # Unlike the rates, the telemetry half of the fleet row is pure
+    # workload: re-running with a different worker split must reproduce
+    # it bit-for-bit.
+    a = bench_fleet(n_trials=4, n_nodes=6, k=8, seed=5, n_workers=1, n_shards=2)
+    b = bench_fleet(n_trials=4, n_nodes=6, k=8, seed=5, n_workers=2, n_shards=4)
+    assert a["telemetry"] == b["telemetry"]
 
 
 def test_run_perfbench_quick_schema_and_validation(tmp_path):
@@ -73,7 +87,7 @@ def test_run_perfbench_quick_schema_and_validation(tmp_path):
         profile="quick", seed=7, ks=(16, 32), schemes=("wc", "rlnc")
     )
     validate_bench(report)
-    assert report["schema_version"] == SCHEMA_VERSION == 3
+    assert report["schema_version"] == SCHEMA_VERSION == 4
     assert set(report["end_to_end"]) == {"wc", "rlnc"}
     assert set(report["phases"]) == {"wc", "rlnc"}
     entry = report["microbench"]["rref_insert_reduce"]["k=32"]
@@ -123,14 +137,43 @@ def test_validate_bench_rejects_broken_reports():
     rewound["phases"]["wc"]["phases"]["encode"]["seconds"] = -0.1
     with pytest.raises(ValueError, match="negative phase time"):
         validate_bench(rewound)
+    no_telemetry = json.loads(json.dumps(report))
+    del no_telemetry["fleet"]["telemetry"]
+    with pytest.raises(ValueError, match="fleet.telemetry section missing"):
+        validate_bench(no_telemetry)
+    short_telemetry = json.loads(json.dumps(report))
+    short_telemetry["fleet"]["telemetry"]["n_trials"] -= 1
+    with pytest.raises(ValueError, match="does not cover the grid"):
+        validate_bench(short_telemetry)
+    bad_counter = json.loads(json.dumps(report))
+    bad_counter["fleet"]["telemetry"]["counters"]["rounds"] = -1
+    with pytest.raises(ValueError, match="negative/non-int"):
+        validate_bench(bad_counter)
     with pytest.raises(ValueError, match="unknown profile"):
         run_perfbench(profile="nope")
 
 
 def test_cli_writes_validated_json(tmp_path, capsys):
     out = tmp_path / "BENCH_test.json"
-    assert main(["--quick", "--seed", "3", "--out", str(out)]) == 0
+    history = tmp_path / "history"
+    assert (
+        main(
+            [
+                "--quick",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+                "--history-dir",
+                str(history),
+            ]
+        )
+        == 0
+    )
     data = json.loads(out.read_text())
     validate_bench(data)
     assert data["profile"] == "quick"
     assert "rref k=64" in capsys.readouterr().out
+    copies = list(history.glob("bench-*.json"))
+    assert len(copies) == 1
+    assert json.loads(copies[0].read_text()) == data
