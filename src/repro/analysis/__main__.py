@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the determinism-contract linter."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Process-environment gateway — the one sanctioned ``os.environ`` read.
+
+Environment variables change workload identity (``LTNC_SCALE`` selects
+the profile the goldens were cut against), so scattering ``os.environ``
+reads across the tree makes the set of reproducibility-relevant knobs
+unknowable.  Every environment read funnels through this module; rule
+LTNC005 (:mod:`repro.analysis`) enforces that this file is the only
+call site in ``src/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_str"]
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """The value of environment variable *name*, or *default*.
+
+    A thin, auditable wrapper over ``os.environ.get`` — deliberately
+    the only place in the library that touches the process environment.
+    """
+    return os.environ.get(name, default)

@@ -28,9 +28,9 @@ Usage::
     python -m repro.experiments.benchdiff OLD NEW --max-slowdown 1.2
     python -m repro.experiments.benchdiff OLD NEW --warn-only --json d.json
 
-``--history DIR`` compares the two most recent reports (lexicographic
-filename order — perfbench's ``--history-dir`` stamps sortable UTC
-names) instead of two explicit paths.
+``--history DIR`` compares the two most recent reports (by the UTC
+stamp perfbench's ``--history-dir`` embeds in filenames, lexicographic
+filename tie-break) instead of two explicit paths.
 """
 
 from __future__ import annotations
@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
 
 from repro.experiments.perfbench import validate_bench
@@ -218,16 +219,36 @@ def render_diff(diff: dict, annotate: bool = False) -> list[str]:
     return lines
 
 
+#: The UTC stamp perfbench's ``--history-dir`` embeds in report names.
+_STAMP_RE = re.compile(r"(\d{8}T\d{6}Z)")
+
+
+def _history_key(path: pathlib.Path) -> tuple[str, str]:
+    """Sort key for history reports: (embedded UTC stamp, filename).
+
+    Recency is the timestamp perfbench stamps into the name, so a
+    differently-prefixed copy still sorts chronologically; two reports
+    sharing a stamp (same-second reruns, hand-made copies) tie-break on
+    full lexicographic filename — the pair picked is deterministic
+    whatever order the filesystem lists them.  Files without a stamp
+    fall back to pure filename order.
+    """
+    match = _STAMP_RE.search(path.name)
+    return (match.group(1) if match else path.name, path.name)
+
+
 def latest_pair(directory: str | pathlib.Path) -> tuple[pathlib.Path, pathlib.Path]:
     """The two most recent reports in a ``--history`` directory.
 
-    Recency is lexicographic filename order — perfbench's
-    ``--history-dir`` stamps UTC ``bench-YYYYmmddTHHMMSSZ.json`` names,
-    which sort chronologically.  Raises ``ValueError`` with a clear
-    message when fewer than two reports exist.
+    Recency is the embedded ``bench-YYYYmmddTHHMMSSZ.json`` UTC stamp
+    with a deterministic lexicographic-filename tie-break (see
+    :func:`_history_key`).  Raises ``ValueError`` with a clear message
+    when fewer than two reports exist.
     """
     d = pathlib.Path(directory)
-    reports = sorted(p for p in d.glob("*.json") if p.is_file())
+    reports = sorted(
+        (p for p in d.glob("*.json") if p.is_file()), key=_history_key
+    )
     if len(reports) < 2:
         raise ValueError(
             f"{d}: need at least two *.json reports to diff, "

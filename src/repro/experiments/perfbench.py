@@ -51,6 +51,7 @@ import numpy as np
 from repro.gf2.bitvec import BitVector
 from repro.gf2.matrix import IncrementalRref
 from repro.gf2.reference import ReferenceBitVector, ReferenceRref
+from repro.rng import make_rng
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -128,7 +129,7 @@ def bench_rref_insert_reduce(
     mid-dissemination.  ``kernel="reference"`` times the pre-PR numpy
     implementation on the identical vector stream.
     """
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     dense = rng.random((n_vectors, k)) < 0.3
     if kernel == "fast":
         vectors: list = [BitVector.from_bits(row) for row in dense]
@@ -162,7 +163,7 @@ def bench_rref_insert_reduce(
 
 def bench_bitvector_ops(k: int, n_ops: int, seed: int) -> dict[str, float]:
     """Raw vector-op rates: ixor / first_index / indices / weight."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     a = BitVector.random(k, rng, density=0.4)
     b = BitVector.random(k, rng, density=0.4)
     out: dict[str, float] = {"k": k, "n_ops": n_ops}
@@ -193,7 +194,7 @@ def bench_decode(k: int, n_batches: int, seed: int) -> dict[str, float]:
     from repro.lt.encoder import LTEncoder
 
     m = 32
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
 
     def gauss() -> int:
         fed = 0
@@ -211,7 +212,7 @@ def bench_decode(k: int, n_batches: int, seed: int) -> dict[str, float]:
         fed = 0
         for batch in range(n_batches):
             encoder = LTEncoder(
-                k, RobustSoliton(k), rng=np.random.default_rng(seed + batch)
+                k, RobustSoliton(k), rng=make_rng(seed + batch)
             )
             decoder = BeliefPropagationDecoder(k)
             while not decoder.is_complete():

@@ -18,8 +18,9 @@ numbers so the two are never confused.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
+
+from repro.config import env_str
 
 __all__ = ["ScaleProfile", "current_profile", "PROFILES"]
 
@@ -77,7 +78,7 @@ PROFILES: dict[str, ScaleProfile] = {
 
 def current_profile() -> ScaleProfile:
     """The profile selected by ``LTNC_SCALE`` (default ``default``)."""
-    name = os.environ.get("LTNC_SCALE", "default").lower()
+    name = (env_str("LTNC_SCALE", "default") or "default").lower()
     if name not in PROFILES:
         valid = ", ".join(sorted(PROFILES))
         raise KeyError(f"LTNC_SCALE={name!r}; expected one of: {valid}")

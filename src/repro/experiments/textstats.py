@@ -29,7 +29,7 @@ from repro.gf2.matrix import IncrementalRref
 from repro.gossip.simulator import EpidemicSimulator, Feedback
 from repro.lt.distributions import RobustSoliton
 from repro.lt.encoder import LTEncoder
-from repro.rng import derive
+from repro.rng import derive, make_rng
 from repro.schemes import LTNC_AGGRESSIVENESS
 
 __all__ = [
@@ -121,7 +121,7 @@ def _redundancy_rich_stream(k: int, length: int, seed: int):
     """
     encoder = LTEncoder(k, RobustSoliton(k), rng=derive(seed, "stream", k))
     relay = LtncNode(99, k, rng=derive(seed, "relay", k))
-    rng = np.random.default_rng(derive(seed, "mix", k).integers(2**32))
+    rng = make_rng(int(derive(seed, "mix", k).integers(2**32)))
     packets = []
     for _ in range(length):
         fresh = encoder.next_packet()

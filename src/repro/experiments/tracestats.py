@@ -405,7 +405,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:  # piped through `head` — not an error
         import os
 
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        # Point stdout at /dev/null so interpreter shutdown's implicit
+        # flush cannot raise again; close the opened fd once dup2 has
+        # duplicated it or it leaks on every truncated pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        try:
+            os.dup2(devnull, sys.stdout.fileno())
+        finally:
+            os.close(devnull)
         return 0
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "FleetProgress",
     "ProgressTracker",
     "render_progress",
+    "validate_progress",
     "write_progress",
 ]
 
@@ -160,6 +161,51 @@ def render_progress(progress: FleetProgress) -> str:
     return parts[0] + " " + " · ".join(parts[1:])
 
 
+def validate_progress(
+    payload: object, source: str = "progress"
+) -> dict[str, object]:
+    """Check a ``progress.json`` payload; return it on success.
+
+    Raises ``ValueError`` listing every violation, prefixed with
+    *source* — the same shape as the trace/telemetry validators, and
+    the callable the :mod:`repro.analysis.schemas` registry pairs with
+    the ``ltnc-fleet-progress`` writer.  Extra keys (``updated_unix``)
+    are tolerated: pollers may stamp but never remove fields.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: progress payload is not a JSON object")
+    if payload.get("format") != PROGRESS_FORMAT:
+        errors.append(f"format {payload.get('format')!r} != {PROGRESS_FORMAT!r}")
+    if payload.get("version") != PROGRESS_VERSION:
+        errors.append(
+            f"version {payload.get('version')!r} != {PROGRESS_VERSION}"
+        )
+    if not isinstance(payload.get("scenario"), str):
+        errors.append("scenario is not a string")
+    for key in (
+        "shard_index",
+        "shards_done",
+        "shards_total",
+        "trials_done",
+        "trials_total",
+    ):
+        value = payload.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{key} is not a non-negative int")
+    if not isinstance(payload.get("replayed"), bool):
+        errors.append("replayed is not a bool")
+    for key in ("trials_per_sec", "eta_seconds"):
+        value = payload.get(key)
+        if value is not None and (
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+        ):
+            errors.append(f"{key} is neither null nor a number")
+    if errors:
+        raise ValueError(f"{source}: invalid progress: " + "; ".join(errors))
+    return payload
+
+
 def write_progress(
     path: str | pathlib.Path, progress: FleetProgress
 ) -> None:
@@ -176,6 +222,7 @@ def write_progress(
     from repro.scenarios.aggregate import atomic_write_text
 
     payload = dict(progress.to_dict())
+    # ltnc: allow[LTNC002] host-side staleness stamp for pollers, never read back
     payload["updated_unix"] = round(time.time(), 3)
     atomic_write_text(
         pathlib.Path(path), json.dumps(payload, indent=2, sort_keys=True)

@@ -85,6 +85,7 @@ __all__ = [
     "ShardSpec",
     "grid_fingerprint",
     "plan_shards",
+    "validate_checkpoint",
 ]
 
 CHECKPOINT_FORMAT = "ltnc-fleet-checkpoint"
@@ -196,6 +197,53 @@ def grid_fingerprint(
 def _slug(name: str) -> str:
     """Filesystem-safe scenario label for checkpoint filenames."""
     return re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "scenario"
+
+
+def validate_checkpoint(
+    payload: object, source: str = "checkpoint"
+) -> dict[str, object]:
+    """Check one shard-checkpoint payload's shape; return it on success.
+
+    Raises ``ValueError`` listing every violation, prefixed with
+    *source* — the same shape as the trace/telemetry validators, and
+    the callable the :mod:`repro.analysis.schemas` registry pairs with
+    the ``ltnc-fleet-checkpoint`` writer.  This is the *schema* check
+    only; :meth:`CheckpointStore.load` additionally ties a checkpoint
+    to the live plan (fingerprint, shard identity, trial indices),
+    which no standalone validator can do.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: checkpoint payload is not a JSON object")
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        errors.append(
+            f"format {payload.get('format')!r} != {CHECKPOINT_FORMAT!r}"
+        )
+    if payload.get("version") != CHECKPOINT_VERSION:
+        errors.append(
+            f"version {payload.get('version')!r} != {CHECKPOINT_VERSION}"
+        )
+    if not isinstance(payload.get("fingerprint"), str):
+        errors.append("fingerprint is not a string")
+    if not isinstance(payload.get("scenario"), dict):
+        errors.append("scenario is not an object")
+    for key in ("shard_index", "n_shards"):
+        value = payload.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{key} is not a non-negative int")
+    indices = payload.get("trial_indices")
+    if not isinstance(indices, list) or not all(
+        isinstance(i, int) and not isinstance(i, bool) for i in indices
+    ):
+        errors.append("trial_indices is not a list of ints")
+    trials = payload.get("trials")
+    if not isinstance(trials, list) or not all(
+        isinstance(t, dict) for t in trials
+    ):
+        errors.append("trials is not a list of objects")
+    if errors:
+        raise ValueError(f"{source}: invalid checkpoint: " + "; ".join(errors))
+    return payload
 
 
 class CheckpointStore:

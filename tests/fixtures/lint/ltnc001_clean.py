@@ -1,0 +1,16 @@
+"""LTNC001 clean twin: randomness only via the repro.rng derive tree."""
+
+import numpy as np
+
+from repro.rng import derive, make_rng
+
+
+def pick(items, seed):
+    rng = make_rng(seed)
+    child = derive(seed, "pick")
+    return items[rng.integers(len(items))], child
+
+
+def annotate(rng: np.random.Generator) -> np.random.Generator:
+    # A type annotation naming numpy.random is not a construction site.
+    return rng

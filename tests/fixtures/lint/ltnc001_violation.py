@@ -1,0 +1,10 @@
+"""LTNC001 fixture: direct randomness construction in src code."""
+
+import random
+
+import numpy as np
+
+
+def pick(items):
+    rng = np.random.default_rng(0)
+    return items[rng.integers(len(items))], random.choice(items)

@@ -1,0 +1,12 @@
+"""LTNC002 clean twin: monotonic clocks only, wall-clock suppressed."""
+
+import time
+
+
+def elapsed(start):
+    return time.perf_counter() - start
+
+
+def host_stamp():
+    # ltnc: allow[LTNC002] host-side display stamp, never read back
+    return time.time()

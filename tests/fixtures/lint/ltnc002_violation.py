@@ -1,0 +1,8 @@
+"""LTNC002 fixture: wall-clock reads in determinism-critical code."""
+
+import datetime
+import time
+
+
+def stamp():
+    return time.time(), datetime.datetime.now()

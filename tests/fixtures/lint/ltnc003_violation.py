@@ -1,0 +1,10 @@
+"""LTNC003 fixture: bare artifact writes instead of atomic_write_text."""
+
+import json
+import pathlib
+
+
+def save(payload, path):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    pathlib.Path(path).with_suffix(".txt").write_text("done")

@@ -1,0 +1,9 @@
+"""LTNC004 clean twin: obs code observes — it never touches rng or counters."""
+
+import time
+
+
+def span(label, records):
+    start = time.perf_counter()
+    records.append((label, start))
+    return start

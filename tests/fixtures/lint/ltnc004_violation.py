@@ -1,0 +1,10 @@
+"""LTNC004 fixture: observability code reaching into measured subsystems."""
+
+from repro.costmodel import OpCounter
+from repro.rng import make_rng
+
+
+def sample_cost(seed):
+    counter = OpCounter()
+    rng = make_rng(seed)
+    return counter, rng.random()

@@ -1,0 +1,7 @@
+"""LTNC005 clean twin: environment reads only via the repro.config gateway."""
+
+from repro.config import env_str
+
+
+def scale_name():
+    return env_str("LTNC_SCALE", "default")

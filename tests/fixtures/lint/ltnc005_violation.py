@@ -1,0 +1,7 @@
+"""LTNC005 fixture: scattered os.environ reads outside the config gateway."""
+
+import os
+
+
+def scale_name():
+    return os.environ.get("LTNC_SCALE", "default"), os.getenv("LTNC_DEBUG")

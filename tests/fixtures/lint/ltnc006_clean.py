@@ -1,0 +1,8 @@
+"""LTNC006 clean twin: module-level constants that are not schema markers."""
+
+DEFAULT_TIMEOUT = 30.0
+PROG_NAME = "fixture"
+
+
+def payload():
+    return {"timeout": DEFAULT_TIMEOUT, "prog": PROG_NAME}

@@ -1,0 +1,8 @@
+"""LTNC006 fixture: schema constants not declared in the central registry."""
+
+WIDGET_FORMAT = "ltnc-widget"
+WIDGET_VERSION = 3
+
+
+def payload():
+    return {"format": WIDGET_FORMAT, "version": WIDGET_VERSION}

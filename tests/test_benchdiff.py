@@ -151,6 +151,28 @@ def test_cli_history_mode_uses_two_most_recent(tmp_path, report, capsys):
         latest_pair(solo)
 
 
+def test_history_tie_break_is_deterministic(tmp_path, report):
+    # Two reports sharing one UTC stamp (same-second rerun, or a copy
+    # made by hand): the pair must not depend on directory-listing
+    # order.  Lexicographic filename breaks the tie — "...Z.rerun.json"
+    # sorts after the plain "...Z.json", so it is the newer side.
+    history = tmp_path / "history"
+    history.mkdir()
+    _write(history / "bench-20260101T000000Z.json", report)
+    _write(history / "bench-20260102T000000Z.json", report)
+    _write(history / "bench-20260102T000000Z.rerun.json", report)
+    old, new = latest_pair(history)
+    assert old.name == "bench-20260102T000000Z.json"
+    assert new.name == "bench-20260102T000000Z.rerun.json"
+    # The stamp governs recency even when a prefix would sort wrong
+    # lexicographically: "archive-..." < "bench-..." by name, but its
+    # stamp is the newest of all three.
+    _write(history / "archive-20260103T000000Z.json", report)
+    old, new = latest_pair(history)
+    assert new.name == "archive-20260103T000000Z.json"
+    assert old.name == "bench-20260102T000000Z.rerun.json"
+
+
 def test_cli_argument_validation(tmp_path, report, capsys):
     old = _write(tmp_path / "old.json", report)
     with pytest.raises(SystemExit):
