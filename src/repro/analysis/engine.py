@@ -18,10 +18,12 @@ tiny atomic writer instead of importing
 
 Escape hatches, both auditable in review:
 
-* **Inline suppressions** — ``# ltnc: allow[LTNC003] reason`` on the
+* **Inline suppressions** — ``# ltnc: allow[LTNCnnn] reason`` on the
   offending line (or alone on the line above it).  The reason is
   mandatory; a reasonless suppression is itself reported (LTNC000) and
-  does not suppress anything.
+  does not suppress anything.  A suppression whose rule no longer
+  fires on its line is *also* reported — dead allows otherwise
+  accumulate and silently pre-authorize future violations.
 * **Baseline file** — a checked-in ``ltnc-baseline`` v1 JSON listing
   grandfathered findings by ``(code, path, context)`` fingerprint
   (line numbers excluded, so unrelated edits do not churn it).
@@ -317,15 +319,45 @@ def lint_module(mod: Module, rules: Iterable[object]) -> list[Finding]:
         ]
     suppressions, bad = mod.suppressions()
     findings: list[Finding] = list(bad)
-    for rule in rules:
-        if not rule.applies(mod.logical):
-            continue
+    used: set[int] = set()
+    active = [rule for rule in rules if rule.applies(mod.logical)]
+    for rule in active:
         for finding in rule.check(mod):
-            if finding.code != BAD_SUPPRESSION_CODE and any(
-                s.covers(finding) for s in suppressions
-            ):
-                continue
+            if finding.code != BAD_SUPPRESSION_CODE:
+                covering = [
+                    i
+                    for i, s in enumerate(suppressions)
+                    if s.covers(finding)
+                ]
+                if covering:
+                    used.update(covering)
+                    continue
             findings.append(finding)
+    # A suppression whose rule no longer fires on its line is dead code
+    # hiding future violations; report it so it gets deleted.  Only
+    # judged against the codes this run actually checked — a --rule
+    # filter must not condemn suppressions for the rules it skipped.
+    active_codes = {rule.code for rule in active}
+    for i, s in enumerate(suppressions):
+        if i in used:
+            continue
+        checkable = sorted(s.codes & active_codes)
+        if not checkable:
+            continue
+        raw = mod.lines[s.line - 1]
+        findings.append(
+            Finding(
+                code=BAD_SUPPRESSION_CODE,
+                path=mod.logical,
+                line=s.line,
+                col=raw.index("#"),
+                message=(
+                    f"unused suppression: {', '.join(checkable)} no "
+                    "longer fires on this line; delete the allow comment"
+                ),
+                context=raw.strip(),
+            )
+        )
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
 

@@ -1,4 +1,4 @@
-"""The determinism-contract rules (LTNC001–LTNC006).
+"""The determinism-contract rules (LTNC001–LTNC007).
 
 Each rule encodes one invariant the repo's reproduction claims rest on,
 with the contract's origin noted next to it.  Rules are deliberately
@@ -472,6 +472,61 @@ class SchemaRegistryRule(Rule):
                     )
 
 
+class SortedJsonRule(Rule):
+    """LTNC007 — JSON artifacts serialise with canonical key order.
+
+    Byte-identical artifacts across resume cycles and worker splits
+    (PR 6's checkpoint fingerprints, PR 8's mergeable telemetry) hold
+    only if serialisation is insertion-order-independent; a
+    ``json.dumps`` without ``sort_keys=True`` byte-churns the artifact
+    the moment a writer builds its dict in a different order.  Calls
+    forwarding ``**kwargs`` are skipped — the key-order decision is the
+    caller's and not statically knowable.
+    """
+
+    code = "LTNC007"
+    name = "sorted-json"
+    summary = (
+        "json.dumps in src/ must pass sort_keys=True (canonical key "
+        "order keeps artifacts byte-stable); **kwargs pass-throughs "
+        "are exempt"
+    )
+
+    def check(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted != "json.dumps" and not (
+                dotted is not None and dotted.endswith(".json.dumps")
+            ):
+                continue
+            sort_kw: ast.expr | None = None
+            forwards_kwargs = False
+            for kw in node.keywords:
+                if kw.arg is None:
+                    forwards_kwargs = True
+                elif kw.arg == "sort_keys":
+                    sort_kw = kw.value
+            if sort_kw is None:
+                if forwards_kwargs:
+                    continue
+                yield mod.finding(
+                    self.code,
+                    node,
+                    "json.dumps without sort_keys=True serialises in "
+                    "dict insertion order; artifacts must use canonical "
+                    "key order",
+                )
+            elif isinstance(sort_kw, ast.Constant) and sort_kw.value is not True:
+                yield mod.finding(
+                    self.code,
+                    node,
+                    f"sort_keys={sort_kw.value!r} disables canonical key "
+                    "order; artifacts must serialise sorted",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     DirectRandomnessRule(),
     WallClockRule(),
@@ -479,6 +534,7 @@ RULES: tuple[Rule, ...] = (
     ObsIsolationRule(),
     EnvGatewayRule(),
     SchemaRegistryRule(),
+    SortedJsonRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}

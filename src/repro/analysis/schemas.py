@@ -90,13 +90,26 @@ SCHEMAS: tuple[SchemaContract, ...] = (
         version_const="CHECKPOINT_VERSION",
         validator="repro.scenarios.fleet:validate_checkpoint",
     ),
+    # The batched round plan is an rng-stream layout, not a JSON
+    # payload: the version constant pins the draw order the batched
+    # simulator step must reproduce, and the validator checks a carried
+    # version int rather than a document.
+    SchemaContract(
+        artifact="ltnc-round-plan",
+        format=None,
+        version=1,
+        writer_module="repro.gossip.simulator",
+        format_const=None,
+        version_const="ROUND_PLAN_VERSION",
+        validator="repro.gossip.simulator:validate_round_plan",
+    ),
     # BENCH_ltnc.json carries a bare ``schema_version`` integer (no
     # format string — predates the ltnc-* convention; changing the
     # payload would invalidate the checked-in trajectory).
     SchemaContract(
         artifact="ltnc-bench",
         format=None,
-        version=4,
+        version=5,
         writer_module="repro.experiments.perfbench",
         format_const=None,
         version_const="SCHEMA_VERSION",

@@ -101,6 +101,7 @@ def build_packet(
     index: DegreeIndex,
     rng: np.random.Generator,
     counter: OpCounter | None = None,
+    fast: bool = False,
 ) -> BuildResult:
     """Greedily build a packet of degree <= *d* (Algorithm 1).
 
@@ -118,8 +119,14 @@ def build_packet(
         Randomness for the per-class uniform picks.
     counter:
         Cost accounting (control ops on supports, data ops on payloads).
+    fast:
+        Use the index's memoized pool tuples (batched-mode nodes).  The
+        pools are element-for-element identical to the slow
+        construction, so picks, charges and results do not change.
     """
     counter = counter if counter is not None else OpCounter()
+    if fast:
+        return _build_packet_fast(d, graph, index, rng, counter)
     words = (graph.k + 63) >> 6  # code-vector words an implementation XORs
     support: set[int] = set()
     payload: np.ndarray | None = None
@@ -153,6 +160,80 @@ def build_packet(
                 payload, _item_payload(graph, i, item), counter
             )
             result.picked.append((i, item))
+    result.support = support
+    result.payload = payload
+    return result
+
+
+def _build_packet_fast(
+    d: int,
+    graph: TannerGraph,
+    index: DegreeIndex,
+    rng: np.random.Generator,
+    counter: OpCounter,
+) -> BuildResult:
+    """Draw-, charge- and result-identical fast body of Algorithm 1.
+
+    Three swaps relative to the reference body above, none observable:
+
+    * pools come from the index's memoized tuples
+      (:meth:`DegreeIndex.items_tuple`), element-for-element identical
+      to ``list(items_of_degree(i))`` so the swap-pop picks consume the
+      same rng draws and select the same items;
+    * item supports/payloads are read inline instead of through the
+      ``_item_*`` helpers, and the payload XOR replicates
+      :func:`~repro.coding.packet.xor_payloads` semantics by value
+      (copies elided where the result is never mutated in place);
+    * charges accumulate locally and land as one add per op name — the
+      counter is a totals-only multiset, so call batching is
+      unobservable.
+    """
+    words = (graph.k + 63) >> 6
+    support: set[int] = set()
+    payload: np.ndarray | None = None
+    result = BuildResult(support=support, payload=None, target=d)
+    packets = graph.packets
+    decoded = graph.decoded
+
+    table_ops = 0
+    rng_draws = 0
+    xor_words = 0
+    payload_xors = 0
+    i = min(d, index.max_degree())
+    pool: list[int] = []
+    pool_class = 0
+    while len(support) < d and i > 0:
+        if pool_class != i:
+            pool = list(index.items_tuple(i))
+            pool_class = i
+            table_ops += 1
+        if not pool:
+            i -= 1
+            continue
+        rng_draws += 1
+        j = int(rng.integers(len(pool)))
+        pool[j], pool[-1] = pool[-1], pool[j]
+        item = pool.pop()
+        result.examined += 1
+        candidate = {item} if i == 1 else packets[item].support
+        table_ops += len(candidate)
+        overlap = len(support & candidate)
+        new_degree = len(support) + len(candidate) - 2 * overlap
+        if len(support) < new_degree <= d:
+            support.symmetric_difference_update(candidate)
+            xor_words += words
+            payload_xors += 1
+            other = decoded[item] if i == 1 else packets[item].payload
+            if other is not None:
+                payload = (
+                    other.copy() if payload is None
+                    else np.bitwise_xor(payload, other)
+                )
+            result.picked.append((i, item))
+    counter.add("table_op", table_ops)
+    counter.add("rng_draw", rng_draws)
+    counter.add("vec_word_xor", xor_words)
+    counter.add("payload_xor", payload_xors)
     result.support = support
     result.payload = payload
     return result

@@ -34,16 +34,32 @@ class DegreeIndex:
     and the update methods touch each dict exactly once.
     """
 
-    __slots__ = ("k", "counter", "_buckets", "_degree_of", "_decoded")
+    __slots__ = (
+        "k",
+        "counter",
+        "version",
+        "_buckets",
+        "_degree_of",
+        "_decoded",
+        "_tuple_cache",
+    )
 
     def __init__(self, k: int, counter: OpCounter | None = None) -> None:
         if k <= 0:
             raise DimensionError(f"k must be positive, got {k}")
         self.k = k
         self.counter = counter if counter is not None else OpCounter()
+        #: Monotone mutation counter: bumped by every add/update/remove,
+        #: so derived caches (the reachability memo) can validate with
+        #: one comparison.
+        self.version = 0
         self._buckets: dict[int, set[int]] = {}
         self._degree_of: dict[int, int] = {}
         self._decoded: set[int] = set()
+        # Memoized tuple(frozenset(bucket)) per degree for the fast
+        # builder pool (see items_tuple); every mutation invalidates the
+        # degrees it touches.
+        self._tuple_cache: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Maintenance (driven by Tanner-graph events)
@@ -56,6 +72,8 @@ class DegreeIndex:
             raise DimensionError(f"pid {pid} already indexed")
         self._degree_of[pid] = degree
         self._buckets.setdefault(degree, set()).add(pid)
+        self.version += 1
+        self._tuple_cache.pop(degree, None)
         self.counter.add("table_op")
 
     def update_packet(self, pid: int, degree: int) -> None:
@@ -71,6 +89,9 @@ class DegreeIndex:
             del buckets[old]
         degree_of[pid] = degree
         buckets.setdefault(degree, set()).add(pid)
+        self.version += 1
+        self._tuple_cache.pop(old, None)
+        self._tuple_cache.pop(degree, None)
         self.counter.add("table_op", 2)
 
     def remove_packet(self, pid: int) -> None:
@@ -80,6 +101,8 @@ class DegreeIndex:
         bucket.discard(pid)
         if not bucket:
             del self._buckets[degree]
+        self.version += 1
+        self._tuple_cache.pop(degree, None)
         self.counter.add("table_op")
 
     def add_decoded(self, index: int) -> None:
@@ -87,6 +110,8 @@ class DegreeIndex:
         if not 0 <= index < self.k:
             raise DimensionError(f"native {index} outside 0..{self.k - 1}")
         self._decoded.add(index)
+        self.version += 1
+        self._tuple_cache.pop(1, None)
         self.counter.add("table_op")
 
     # ------------------------------------------------------------------
@@ -107,6 +132,22 @@ class DegreeIndex:
         if degree == 1:
             return frozenset(self._decoded)
         return frozenset(self._buckets.get(degree, ()))
+
+    def items_tuple(self, degree: int) -> tuple[int, ...]:
+        """Memoized ``tuple(frozenset(...))`` of :meth:`items_of_degree`.
+
+        Element order is exactly the frozenset iteration order the slow
+        builder observes through ``list(items_of_degree(d))`` — the
+        Algorithm-1 pool order that the rng swap-pop picks index into —
+        so the fast builder path stays draw-for-draw identical.  Every
+        mutation invalidates the degrees it touches.
+        """
+        cached = self._tuple_cache.get(degree)
+        if cached is None:
+            items = self._decoded if degree == 1 else self._buckets.get(degree)
+            cached = tuple(frozenset(items)) if items else ()
+            self._tuple_cache[degree] = cached
+        return cached
 
     def decoded_natives(self) -> frozenset[int]:
         """The degree-1 items: decoded native indices."""

@@ -153,6 +153,7 @@ class _StructureMaintainer(TannerListener):
         node = self.node
         node.degree_index.add_decoded(index)
         node.components.mark_decoded(index)
+        node._decoded_mask |= 1 << index
 
 
 class LtncNode:
@@ -241,11 +242,29 @@ class LtncNode:
             self.degree_index, self.decoder.graph, counter=self.recode_counter
         )
         self.stats = LtncStats()
+        # Decoded natives as a bitmask, maintained from Tanner events
+        # (one int OR per decode); serves the fast header check.
+        self._decoded_mask = 0
+        self._fast_paths = False
         self.decoder.add_listener(_StructureMaintainer(self))
         if detect_redundancy:
             self.decoder.set_drop_policy(self.detector)
         self.innovative_count = 0
         self.redundant_count = 0
+
+    def enable_fast_paths(self) -> None:
+        """Switch on the batched-mode kernels (see ``ROUND_PLAN_VERSION``).
+
+        Called by :class:`~repro.gossip.simulator.EpidemicSimulator`
+        when round batching is active.  Every selected variant — bisect
+        degree sampling, mask-based header reduction, member-set
+        refinement scan — is draw-for-draw, result- and charge-identical
+        to the reference implementation it replaces, pinned by
+        ``tests/test_batch_equivalence.py``.
+        """
+        self._fast_paths = True
+        self.occurrences.enable_fast_mode()
+        self.oracle.enable_fast_mode()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -302,6 +321,19 @@ class LtncNode:
         Gaussian reduction LTNC avoids.
         """
         self.decode_counter.add("table_op")
+        if self._fast_paths:
+            # Clear decoded bits in one int AND instead of extracting
+            # every index; residual bits come out ascending, the same
+            # order indices_list() produces.
+            residual = vector._x & ~self._decoded_mask
+            if residual.bit_count() > 3:
+                return True
+            reduced = []
+            while residual:
+                lsb = residual & -residual
+                reduced.append(lsb.bit_length() - 1)
+                residual ^= lsb
+            return not self.detector.is_redundant_reduced(reduced)
         is_decoded = self.decoder.is_decoded
         reduced = [
             i for i in vector.indices_list() if not is_decoded(i)
@@ -349,16 +381,21 @@ class LtncNode:
 
     def _pick_degree(self) -> int:
         """Draw Robust Soliton degrees until one passes both bounds."""
+        sample = (
+            self.distribution.sample_fast
+            if self._fast_paths
+            else self.distribution.sample
+        )
         self.stats.degree_picks += 1
         self.recode_counter.add("rng_draw")
-        d = self.distribution.sample(self.rng)
+        d = sample(self.rng)
         if not self.oracle.is_unreachable(d):
             self.stats.first_pick_accepted += 1
             return d
         for _ in range(self.max_degree_retries):
             self.stats.degree_retries += 1
             self.recode_counter.add("rng_draw")
-            d = self.distribution.sample(self.rng)
+            d = sample(self.rng)
             if not self.oracle.is_unreachable(d):
                 return d
         # Pathological state (e.g. a single stored packet): clamp.
@@ -376,6 +413,7 @@ class LtncNode:
             self.degree_index,
             self.rng,
             self.recode_counter,
+            fast=self._fast_paths,
         )
         if not built.support:
             raise RecodingError(f"builder produced an empty packet (d={d})")
@@ -397,6 +435,7 @@ class LtncNode:
                 self.decoder.graph,
                 self.recode_counter,
                 scan_limit=self.scan_limit,
+                fast_scan=self._fast_paths,
             )
             if prof is not None:
                 prof.add("refine", time.perf_counter() - t0)

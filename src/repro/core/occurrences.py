@@ -38,10 +38,44 @@ class OccurrenceTracker:
         self._buckets: dict[int, set[int]] = {0: set(range(k))}
         self._min_count = 0
         self.packets_sent = 0
+        # Batched-mode state (enable_fast_mode): a plain-list shadow of
+        # ``counts`` (numpy scalar reads/writes dominate record_sent
+        # otherwise) and memoized tuple(frozenset(bucket)) snapshots per
+        # count, serving the fast refinement scan.  Iteration order of a
+        # CPython set depends on its full mutation history, and the slow
+        # scan observes it through frozenset() copies — the cache
+        # snapshots exactly that order, and record_sent (the single
+        # bucket-mutation site) invalidates the two counts it touches.
+        self.fast_mode = False
+        self._counts_list: list[int] | None = None
+        self._counts_dirty = False
+        self._bucket_cache: dict[int, tuple[int, ...]] = {}
+        self._counts_sorted: list[int] | None = None
+
+    def enable_fast_mode(self) -> None:
+        """Switch to the batched-mode bookkeeping (list shadow + caches).
+
+        Charge- and result-identical to the reference mode; pinned by
+        the batched-vs-scalar differential tests.
+        """
+        if not self.fast_mode:
+            self.fast_mode = True
+            self._counts_list = self.counts.tolist()
+            self._bucket_cache.clear()
+            self._counts_sorted = None
+
+    def _sync_counts(self) -> None:
+        """Refresh the numpy ``counts`` array from the fast-mode shadow."""
+        if self._counts_dirty:
+            self.counts = np.array(self._counts_list, dtype=np.int64)
+            self._counts_dirty = False
 
     # ------------------------------------------------------------------
     def record_sent(self, support: Iterable[int]) -> None:
         """Account one sent packet containing the natives in *support*."""
+        if self.fast_mode:
+            self._record_sent_fast(support)
+            return
         for x in support:
             if not 0 <= x < self.k:
                 raise DimensionError(f"native {x} outside 0..{self.k - 1}")
@@ -58,10 +92,43 @@ class OccurrenceTracker:
         while self._min_count not in self._buckets:
             self._min_count += 1
 
+    def _record_sent_fast(self, support: Iterable[int]) -> None:
+        """Batched-mode record_sent: same moves, one batched charge.
+
+        The counter is a totals-only multiset, so charging ``2 * moved``
+        once equals the reference path's per-native ``add(2)``.
+        """
+        counts = self._counts_list
+        buckets = self._buckets
+        cache_pop = self._bucket_cache.pop
+        moved = 0
+        for x in support:
+            if not 0 <= x < self.k:
+                raise DimensionError(f"native {x} outside 0..{self.k - 1}")
+            old = counts[x]
+            counts[x] = old + 1
+            bucket = buckets[old]
+            bucket.discard(x)
+            if not bucket:
+                del buckets[old]
+            buckets.setdefault(old + 1, set()).add(x)
+            cache_pop(old, None)
+            cache_pop(old + 1, None)
+            moved += 1
+        if moved:
+            self._counts_sorted = None
+            self._counts_dirty = True
+        self.counter.add("table_op", 2 * moved)
+        self.packets_sent += 1
+        while self._min_count not in buckets:
+            self._min_count += 1
+
     # ------------------------------------------------------------------
     def frequency(self, x: int) -> int:
         """Occurrences of native *x* in packets sent so far."""
         self.counter.add("table_op")
+        if self._counts_list is not None:
+            return self._counts_list[x]
         return int(self.counts[x])
 
     def min_frequency(self) -> int:
@@ -80,13 +147,45 @@ class OccurrenceTracker:
             if bucket:
                 yield count, frozenset(bucket)
 
+    def nonempty_counts(self) -> list[int]:
+        """Ascending counts with a non-empty bucket, memoized.
+
+        Lets the fast refinement scan step only through real buckets
+        instead of every integer in ``[min, limit)``; the ``table_op``
+        charge for the skipped empty counts is reconstructed
+        arithmetically (hit at count ``c`` visited ``c - min + 1``
+        counts, a miss visited ``limit - min``).
+        """
+        counts = self._counts_sorted
+        if counts is None:
+            counts = self._counts_sorted = sorted(self._buckets)
+        return counts
+
+    def bucket_tuple(self, count: int) -> tuple[int, ...]:
+        """Bucket *count* as a memoized tuple, in frozenset order.
+
+        Candidate order must match what :meth:`buckets_below` consumers
+        see — ``frozenset(bucket)`` iteration — because the refinement
+        scan's result (and its ``examined`` charge) depends on which
+        acceptable candidate comes first.  Charges nothing; the fast
+        scan accounts its own ``table_op`` per count visited.
+        """
+        cached = self._bucket_cache.get(count)
+        if cached is None:
+            bucket = self._buckets.get(count)
+            cached = tuple(frozenset(bucket)) if bucket else ()
+            self._bucket_cache[count] = cached
+        return cached
+
     # ------------------------------------------------------------------
     def mean(self) -> float:
         """Average occurrences per native."""
+        self._sync_counts()
         return float(self.counts.mean())
 
     def variance(self) -> float:
         """Variance of the per-native occurrence counts."""
+        self._sync_counts()
         return float(self.counts.var())
 
     def rsd(self) -> float:
@@ -95,6 +194,7 @@ class OccurrenceTracker:
         The paper reports 0.1 % for LTNC nodes mid-dissemination; zero
         until the first packet is sent.
         """
+        self._sync_counts()
         mu = self.counts.mean()
         if mu == 0:
             return 0.0
@@ -102,6 +202,7 @@ class OccurrenceTracker:
 
     def check_invariants(self) -> None:
         """Verify buckets mirror the counts array (tests only)."""
+        self._sync_counts()
         for count, bucket in self._buckets.items():
             assert bucket, f"empty bucket {count} kept alive"
             for x in bucket:

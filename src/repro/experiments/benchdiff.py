@@ -25,12 +25,21 @@ Usage::
 
     python -m repro.experiments.benchdiff OLD.json NEW.json
     python -m repro.experiments.benchdiff --history benchmarks/history/
+    python -m repro.experiments.benchdiff --history benchmarks/history/ --window 5
     python -m repro.experiments.benchdiff OLD NEW --max-slowdown 1.2
     python -m repro.experiments.benchdiff OLD NEW --warn-only --json d.json
 
 ``--history DIR`` compares the two most recent reports (by the UTC
 stamp perfbench's ``--history-dir`` embeds in filenames, lexicographic
 filename tie-break) instead of two explicit paths.
+
+``--window K`` (history mode only) additionally runs *trend* detection
+over the last K reports: the newest report is compared against the
+window **median** of every older report in the window.  This catches
+slow drift — K-1 consecutive steps each inside the pairwise tolerance
+whose product is not — while the median keeps one noisy CI host from
+poisoning the baseline.  A trend regression fails the gate exactly like
+a pairwise one.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ import argparse
 import json
 import pathlib
 import re
+import statistics
 import sys
 
 from repro.experiments.perfbench import validate_bench
@@ -46,10 +56,13 @@ from repro.experiments.perfbench import validate_bench
 __all__ = [
     "diff_reports",
     "extract_rows",
+    "history_window",
     "latest_pair",
     "load_report",
     "main",
     "render_diff",
+    "render_trend",
+    "trend_diff",
 ]
 
 #: Default tolerance: a row must not be more than this factor slower.
@@ -257,6 +270,114 @@ def latest_pair(directory: str | pathlib.Path) -> tuple[pathlib.Path, pathlib.Pa
     return reports[-2], reports[-1]
 
 
+def history_window(
+    directory: str | pathlib.Path, window: int
+) -> list[pathlib.Path]:
+    """The most recent *window* reports in a ``--history`` directory.
+
+    Returned oldest → newest under the same recency order as
+    :func:`latest_pair`.  A window larger than the directory simply
+    returns everything — early in a trajectory the trend baseline is
+    whatever history exists.  Raises ``ValueError`` below two reports
+    (no trend without history) or a window below two (a 1-report
+    "window" has no baseline to drift from).
+    """
+    if window < 2:
+        raise ValueError(f"--window must be >= 2, got {window}")
+    d = pathlib.Path(directory)
+    reports = sorted(
+        (p for p in d.glob("*.json") if p.is_file()), key=_history_key
+    )
+    if len(reports) < 2:
+        raise ValueError(
+            f"{d}: need at least two *.json reports for a trend window, "
+            f"found {len(reports)}"
+        )
+    return reports[-window:]
+
+
+def trend_diff(
+    reports: list[dict], max_slowdown: float = DEFAULT_MAX_SLOWDOWN
+) -> dict:
+    """Newest report vs the window-median baseline of the older ones.
+
+    For every row present in the newest report *and every* older report
+    in the window, the baseline is the **median** rate across the older
+    reports; the row regresses when ``new/baseline < 1/max_slowdown``.
+    Pairwise diffs miss monotone drift (each step inside tolerance,
+    their product not); the median baseline trips on it while shrugging
+    off a single slow CI host in the window.  Rows missing from any
+    report are skipped — schema growth mid-window must not break the
+    gate, same contract as :func:`diff_reports`.
+    """
+    if len(reports) < 2:
+        raise ValueError(
+            f"trend window needs at least two reports, got {len(reports)}"
+        )
+    if max_slowdown < 1.0:
+        raise ValueError(
+            f"max_slowdown must be >= 1.0, got {max_slowdown}"
+        )
+    older = [extract_rows(r) for r in reports[:-1]]
+    new_rows = extract_rows(reports[-1])
+    shared = set(new_rows)
+    for rows in older:
+        shared &= set(rows)
+    threshold = 1.0 / max_slowdown
+    trend_rows = []
+    n_regressed = 0
+    for name in sorted(shared):
+        baseline = statistics.median(rows[name] for rows in older)
+        ratio = new_rows[name] / baseline
+        regressed = ratio < threshold
+        n_regressed += regressed
+        trend_rows.append(
+            {
+                "name": name,
+                "baseline": round(baseline, 4),
+                "new": new_rows[name],
+                "ratio": round(ratio, 4),
+                "regressed": regressed,
+            }
+        )
+    return {
+        "suite": "ltnc-benchdiff-trend",
+        "window": len(reports),
+        "max_slowdown": max_slowdown,
+        "rows": trend_rows,
+        "n_rows": len(trend_rows),
+        "n_regressed": n_regressed,
+    }
+
+
+def render_trend(trend: dict, annotate: bool = False) -> list[str]:
+    """Human-readable lines for one trend payload (cf. render_diff).
+
+    Only drifting rows are itemized — a trend report over a full BENCH
+    schema has dozens of rows and the pairwise diff above it already
+    lists them all; the trend section exists to surface the drifts.
+    """
+    lines = [f"trend over last {trend['window']} reports (median baseline):"]
+    for row in trend["rows"]:
+        if not row["regressed"]:
+            continue
+        lines.append(
+            f"  DRIFTED  {row['name']}: median {row['baseline']:.1f} "
+            f"-> {row['new']:.1f} (x{row['ratio']:.2f})"
+        )
+        if annotate:
+            lines.append(
+                f"::warning::bench trend drift {row['name']}: "
+                f"x{row['ratio']:.2f} over {trend['window']} reports "
+                f"(tolerance x{1.0/trend['max_slowdown']:.2f})"
+            )
+    lines.append(
+        f"{trend['n_regressed']}/{trend['n_rows']} rows drifted "
+        f"(tolerance: {trend['max_slowdown']}x vs window median)"
+    )
+    return lines
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.benchdiff",
@@ -276,6 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="compare the two most recent *.json reports in DIR "
         "instead of explicit paths",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="K",
+        help="(with --history) also detect trend drift: compare the "
+        "newest report against the median of the previous K-1 reports",
     )
     parser.add_argument(
         "--max-slowdown",
@@ -307,11 +436,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--max-slowdown must be >= 1.0, got {args.max_slowdown}"
         )
+    if args.window is not None:
+        if args.history is None:
+            parser.error("--window only applies to --history mode")
+        if args.window < 2:
+            parser.error(f"--window must be >= 2, got {args.window}")
+    window_paths: list[pathlib.Path] = []
     if args.history is not None:
         if args.reports:
             parser.error("--history and explicit REPORT paths are exclusive")
         try:
-            old_path, new_path = latest_pair(args.history)
+            if args.window is not None:
+                window_paths = history_window(args.history, args.window)
+                old_path, new_path = window_paths[-2], window_paths[-1]
+            else:
+                old_path, new_path = latest_pair(args.history)
         except ValueError as exc:
             print(f"benchdiff: {exc}", file=sys.stderr)
             return EXIT_INVALID
@@ -326,12 +465,22 @@ def main(argv: list[str] | None = None) -> int:
     try:
         old = load_report(old_path)
         new = load_report(new_path)
+        window_reports = [load_report(p) for p in window_paths[:-2]]
     except ValueError as exc:
         print(f"benchdiff: {exc}", file=sys.stderr)
         return EXIT_INVALID
     diff = diff_reports(old, new, max_slowdown=args.max_slowdown)
+    trend = None
+    if window_paths:
+        trend = trend_diff(
+            window_reports + [old, new], max_slowdown=args.max_slowdown
+        )
+        diff["trend"] = trend
     for line in render_diff(diff, annotate=args.warn_only):
         print(line)
+    if trend is not None:
+        for line in render_trend(trend, annotate=args.warn_only):
+            print(line)
     if args.json:
         from repro.scenarios.aggregate import atomic_write_text
 
@@ -340,7 +489,8 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(diff, sort_keys=True, indent=2) + "\n",
         )
         print(f"wrote {out}", file=sys.stderr)
-    if diff["n_regressed"] and not args.warn_only:
+    n_bad = diff["n_regressed"] + (trend["n_regressed"] if trend else 0)
+    if n_bad and not args.warn_only:
         return EXIT_REGRESSION
     return EXIT_OK
 

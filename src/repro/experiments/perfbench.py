@@ -58,10 +58,12 @@ __all__ = [
     "DEFAULT_SEED",
     "KERNEL_KS",
     "bench_rref_insert_reduce",
+    "bench_kernel_batch",
     "bench_fleet",
     "bench_bitvector_ops",
     "bench_decode",
     "bench_end_to_end",
+    "bench_n_scaling",
     "bench_phases",
     "run_perfbench",
     "validate_bench",
@@ -72,8 +74,11 @@ __all__ = [
 #: v3 added the ``phases`` section (per-phase wall time through
 #: :class:`~repro.obs.PhaseProfiler`); v4 added ``fleet.telemetry``
 #: (the in-worker mergeable counters of the fleet workload, via
-#: :mod:`repro.obs.metrics`).
-SCHEMA_VERSION = 4
+#: :mod:`repro.obs.metrics`); v5 added ``n_scaling`` (scalar-vs-batched
+#: round throughput per overlay size, up to N = 10,000),
+#: ``microbench.kernel_batch`` (numpy multi-row RREF vs the int kernel
+#: at paper-scale k) and the ``ltnc_batched`` phase breakdown.
+SCHEMA_VERSION = 5
 DEFAULT_SEED = 2026
 KERNEL_KS: tuple[int, ...] = (32, 64, 128, 256)
 DEFAULT_OUT = "BENCH_ltnc.json"
@@ -92,6 +97,13 @@ _PROFILES = {
         "fleet_nodes": 16,
         "fleet_k": 32,
         "fleet_shards": 4,
+        # (n_nodes, round cap or None for run-to-completion); the
+        # N = 10,000 pair is round-capped to bound the scalar leg, and
+        # the separate completion row (below) runs batched to the end.
+        "n_scaling": ((128, None), (1024, None), (10_000, 80)),
+        "n_scaling_k": 32,
+        "n_scaling_completion": 10_000,
+        "kernel_batch_ks": (512, 1024, 2048),
     },
     "quick": {
         "rref_vectors": 300,
@@ -104,6 +116,12 @@ _PROFILES = {
         "fleet_nodes": 8,
         "fleet_k": 16,
         "fleet_shards": 3,
+        # Tight round caps keep the CI smoke in seconds while still
+        # driving the batched planner at the full N = 10,000 overlay.
+        "n_scaling": ((128, 24), (1024, 8), (10_000, 3)),
+        "n_scaling_k": 32,
+        "n_scaling_completion": None,
+        "kernel_batch_ks": (256, 512),
     },
 }
 
@@ -158,6 +176,62 @@ def bench_rref_insert_reduce(
         "n_ops": n_ops,
         "seconds": round(seconds, 6),
         "ops_per_sec": round(n_ops / seconds, 1),
+    }
+
+
+def bench_kernel_batch(k: int, seed: int) -> dict[str, float]:
+    """Numpy multi-row RREF vs the int kernel at one code length.
+
+    Feeds the identical dense random row stream (``k + 16`` rows, one
+    full-rank fill — the RLNC decode shape) through
+    :class:`~repro.gf2.matrix.IncrementalRref` and
+    :class:`~repro.gf2.batch.BatchRref`, plus the block
+    :meth:`~repro.gf2.batch.BatchRref.batch_insert` entry point on a
+    pre-packed word matrix.  The kernels are result- and
+    charge-identical (pinned by ``tests/test_gf2_batch.py``), so the
+    rows differ only in wall clock — the basis for the
+    :func:`~repro.gf2.batch.make_rref` selection heuristic.
+    """
+    from repro.gf2.batch import BatchRref
+
+    rng = make_rng(seed)
+    nwords = (k + 63) >> 6
+    n_rows = k + 16
+    words = rng.integers(0, 2**64, size=(n_rows, nwords), dtype=np.uint64)
+    if k & 63:
+        words[:, -1] &= np.uint64((1 << (k & 63)) - 1)
+    # Guard against an all-zero tail row on tiny k (keeps ranks equal).
+    vectors = [
+        BitVector._from_int(k, int.from_bytes(row.tobytes(), "little"))
+        for row in words
+    ]
+
+    def run_int() -> int:
+        rref = IncrementalRref(k)
+        for v in vectors:
+            rref.insert(v)
+        return n_rows
+
+    def run_numpy() -> int:
+        rref = BatchRref(k)
+        for v in vectors:
+            rref.insert(v)
+        return n_rows
+
+    def run_block() -> int:
+        BatchRref(k).batch_insert(words)
+        return n_rows
+
+    i_ops, i_secs = _timed(run_int)
+    n_ops, n_secs = _timed(run_numpy)
+    b_ops, b_secs = _timed(run_block)
+    return {
+        "k": k,
+        "n_rows": n_rows,
+        "int_ops_per_sec": round(i_ops / i_secs, 1),
+        "numpy_ops_per_sec": round(n_ops / n_secs, 1),
+        "block_ops_per_sec": round(b_ops / b_secs, 1),
+        "speedup_numpy_vs_int": round(i_secs / n_secs, 2),
     }
 
 
@@ -258,8 +332,62 @@ def bench_end_to_end(
     }
 
 
+def bench_n_scaling(
+    n_nodes: int,
+    k: int,
+    seed: int,
+    max_rounds: int | None = None,
+    modes: Sequence[str] = ("off", "on"),
+) -> dict[str, object]:
+    """Scalar vs batched round throughput at one overlay size.
+
+    Runs the identical seeded LTNC dissemination (binary feedback, the
+    baseline shape at a fixed small k so per-node decode work stays
+    constant while N scales) once per round-execution mode and reports
+    rounds/sec for each plus the batched-over-scalar speedup.  The two
+    modes are result-identical by contract (the batched-vs-scalar
+    differential tests pin results *and* counter totals), so they
+    always simulate the same rounds; *max_rounds* bounds the largest
+    overlays, where a scalar run to completion would dominate the whole
+    suite.
+    """
+    from repro.gossip.simulator import EpidemicSimulator, Feedback
+
+    entry: dict[str, object] = {
+        "n_nodes": n_nodes,
+        "k": k,
+        "max_rounds": max_rounds,
+    }
+    for mode in modes:
+        sim = EpidemicSimulator(
+            "ltnc",
+            n_nodes=n_nodes,
+            k=k,
+            feedback=Feedback.BINARY,
+            seed=seed,
+            max_rounds=max_rounds if max_rounds is not None else 200_000,
+            batch_rounds=mode,
+        )
+        t0 = time.perf_counter()
+        result = sim.run()
+        seconds = time.perf_counter() - t0
+        entry["scalar" if mode == "off" else "batched"] = {
+            "rounds": result.rounds,
+            "all_complete": result.all_complete,
+            "seconds": round(seconds, 6),
+            "rounds_per_sec": round(result.rounds / seconds, 2),
+        }
+    if "scalar" in entry and "batched" in entry:
+        entry["speedup_batched_vs_scalar"] = round(
+            entry["batched"]["rounds_per_sec"]
+            / entry["scalar"]["rounds_per_sec"],
+            2,
+        )
+    return entry
+
+
 def bench_phases(
-    scheme: str, n_nodes: int, k: int, seed: int
+    scheme: str, n_nodes: int, k: int, seed: int, batch_rounds: str = "off"
 ) -> dict[str, object]:
     """Per-phase wall time of one seeded epidemic dissemination.
 
@@ -270,6 +398,9 @@ def bench_phases(
     the LTNC-only refine slice (a subset of encode, not additive).
     ``measured_fraction`` says how much of the wall clock the phase
     brackets account for; the remainder is loop scaffolding.
+    *batch_rounds* selects the round-execution mode, so the report can
+    carry a batched breakdown next to the scalar one (same phases —
+    the batched step brackets the identical work).
     """
     from repro.gossip.simulator import EpidemicSimulator
     from repro.obs import PhaseProfiler
@@ -282,6 +413,7 @@ def bench_phases(
         seed=seed,
         max_rounds=200_000,
         profiler=profiler,
+        batch_rounds=batch_rounds,
     )
     t0 = time.perf_counter()
     result = sim.run()
@@ -393,6 +525,11 @@ def run_perfbench(
         bitvec[f"k={k}"] = bench_bitvector_ops(k, sizes["bitvec_ops"], seed)
         decode[f"k={k}"] = bench_decode(k, sizes["decode_batches"], seed)
 
+    kernel_batch = {
+        f"k={k}": bench_kernel_batch(k, seed)
+        for k in sizes["kernel_batch_ks"]
+    }
+
     end_to_end = {
         scheme: bench_end_to_end(
             scheme, sizes["e2e_nodes"], sizes["e2e_k"], seed
@@ -400,12 +537,29 @@ def run_perfbench(
         for scheme in schemes
     }
 
+    n_scaling = {
+        f"n={n_nodes}": bench_n_scaling(
+            n_nodes, sizes["n_scaling_k"], seed, max_rounds=cap
+        )
+        for n_nodes, cap in sizes["n_scaling"]
+    }
+    if sizes["n_scaling_completion"]:
+        n_scaling["completion"] = bench_n_scaling(
+            sizes["n_scaling_completion"],
+            sizes["n_scaling_k"],
+            seed,
+            modes=("on",),
+        )
+
     phases = {
         scheme: bench_phases(
             scheme, sizes["e2e_nodes"], sizes["e2e_k"], seed
         )
         for scheme in schemes
     }
+    phases["ltnc_batched"] = bench_phases(
+        "ltnc", sizes["e2e_nodes"], sizes["e2e_k"], seed, batch_rounds="on"
+    )
 
     fleet = bench_fleet(
         sizes["fleet_trials"],
@@ -434,8 +588,10 @@ def run_perfbench(
             "rref_insert_reduce": rref,
             "bitvector": bitvec,
             "decode": decode,
+            "kernel_batch": kernel_batch,
         },
         "end_to_end": end_to_end,
+        "n_scaling": n_scaling,
         "phases": phases,
         "fleet": fleet,
     }
@@ -449,19 +605,26 @@ def validate_bench(data: dict[str, object]) -> None:
     build rather than thinning the perf trajectory.
     """
     errors: list[str] = []
-    if data.get("schema_version") != SCHEMA_VERSION:
-        errors.append(f"schema_version != {SCHEMA_VERSION}")
+    version = data.get("schema_version")
+    # Version-aware: v4 reports (the checked-in history trail) still
+    # validate against the sections they were written with; the v5
+    # additions are only required at v5.
+    if version not in (4, SCHEMA_VERSION):
+        errors.append(f"schema_version not in (4, {SCHEMA_VERSION})")
     if data.get("suite") != "ltnc-perfbench":
         errors.append("suite != 'ltnc-perfbench'")
     micro = data.get("microbench")
     if not isinstance(micro, dict):
         errors.append("microbench section missing")
         micro = {}
-    for section, rate_key in (
+    micro_sections = [
         ("rref_insert_reduce", "ops_per_sec"),
         ("bitvector", "ixor_per_sec"),
         ("decode", "gauss_packets_per_sec"),
-    ):
+    ]
+    if version == SCHEMA_VERSION:
+        micro_sections.append(("kernel_batch", "numpy_ops_per_sec"))
+    for section, rate_key in micro_sections:
         table = micro.get(section)
         if not isinstance(table, dict) or not table:
             errors.append(f"microbench.{section} missing or empty")
@@ -481,6 +644,41 @@ def validate_bench(data: dict[str, object]) -> None:
                 errors.append(f"end_to_end[{scheme}].rounds_per_sec not positive")
             elif not entry.get("all_complete"):
                 errors.append(f"end_to_end[{scheme}] did not complete")
+    if version == SCHEMA_VERSION:
+        scaling = data.get("n_scaling")
+        if not isinstance(scaling, dict) or not scaling:
+            errors.append("n_scaling section missing or empty")
+        else:
+            for label, entry in scaling.items():
+                if not isinstance(entry, dict):
+                    errors.append(f"n_scaling[{label}] not a row")
+                    continue
+                batched = entry.get("batched")
+                if (
+                    not isinstance(batched, dict)
+                    or batched.get("rounds_per_sec", 0) <= 0
+                ):
+                    errors.append(
+                        f"n_scaling[{label}].batched.rounds_per_sec "
+                        "not positive"
+                    )
+                if "scalar" in entry and (
+                    entry.get("speedup_batched_vs_scalar", 0) <= 0
+                ):
+                    errors.append(
+                        f"n_scaling[{label}].speedup_batched_vs_scalar "
+                        "not positive"
+                    )
+                if label == "completion" and not (
+                    isinstance(batched, dict) and batched.get("all_complete")
+                ):
+                    errors.append(
+                        "n_scaling.completion did not run to completion"
+                    )
+        if not isinstance(data.get("phases"), dict) or "ltnc_batched" not in (
+            data.get("phases") or {}
+        ):
+            errors.append("phases.ltnc_batched missing")
     phases = data.get("phases")
     if not isinstance(phases, dict) or not phases:
         errors.append("phases section missing or empty")
@@ -592,6 +790,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"; fleet {fleet['trials_per_sec']} trials/s "
         f"({fleet['n_trials']}-trial grid, {fleet['n_shards']} shards)"
     )
+    scaling = report["n_scaling"]
+    big = max(
+        (row for row in scaling.values() if "speedup_batched_vs_scalar" in row),
+        key=lambda row: row["n_nodes"],
+        default=None,
+    )
+    if big:
+        line += (
+            f"; batched {big['speedup_batched_vs_scalar']}x vs scalar "
+            f"at N={big['n_nodes']}"
+        )
     ltnc = report["phases"].get("ltnc")
     if ltnc:
         table = ltnc["phases"]

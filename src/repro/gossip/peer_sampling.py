@@ -17,6 +17,8 @@ Two implementations:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import SimulationError
@@ -31,6 +33,23 @@ class PeerSampler:
     def peers(self, node_id: int, n: int, round_index: int) -> list[int]:
         """Return *n* distinct peer ids for *node_id* (never itself)."""
         raise NotImplementedError
+
+    def peers_batch(
+        self, node_ids: Sequence[int], round_index: int
+    ) -> list[int]:
+        """One gossip target per node in *node_ids*, in order.
+
+        Contract (round-plan v1, see ``gossip.simulator``): the rng
+        stream consumed must be *bit-identical* to calling
+        ``peers(node_id, 1, round_index)`` once per id, in order.  This
+        loop-over-``peers`` default guarantees that for every sampler;
+        subclasses may vectorise, but only with a draw-for-draw
+        equivalent bulk formulation (``UniformSampler`` is the worked
+        example, pinned by ``tests/test_batch_equivalence.py``).
+        """
+        return [
+            self.peers(node_id, 1, round_index)[0] for node_id in node_ids
+        ]
 
 
 class UniformSampler(PeerSampler):
@@ -51,6 +70,24 @@ class UniformSampler(PeerSampler):
         picks = self.rng.choice(self.n_nodes - 1, size=n, replace=False)
         # Skip over node_id by shifting the tail of the range.
         return [int(p) if p < node_id else int(p) + 1 for p in picks]
+
+    def peers_batch(
+        self, node_ids: Sequence[int], round_index: int
+    ) -> list[int]:
+        """Vectorised single-target draws, stream-identical to ``peers``.
+
+        ``Generator.choice(m, size=1, replace=False)`` consumes exactly
+        one bounded draw — the same stream advance as
+        ``Generator.integers(m)`` — and bulk ``integers(m, size=n)``
+        equals *n* sequential scalar draws, so this one bulk call
+        produces the identical targets (and leaves the generator in the
+        identical state) as a scalar loop over :meth:`peers`.
+        """
+        if not node_ids:
+            return []
+        picks = self.rng.integers(self.n_nodes - 1, size=len(node_ids))
+        ids = np.asarray(node_ids)
+        return (picks + (picks >= ids)).tolist()
 
 
 class ViewSampler(PeerSampler):

@@ -44,7 +44,61 @@ from repro.obs.tracer import NULL_TRACER, node_rank
 from repro.rng import derive, make_rng, spawn
 from repro.schemes import CodingScheme, SchemeNode, resolve
 
-__all__ = ["Feedback", "EpidemicSimulator", "run_dissemination"]
+__all__ = [
+    "Feedback",
+    "EpidemicSimulator",
+    "run_dissemination",
+    "ROUND_PLAN_VERSION",
+    "BATCH_AUTO_NODES",
+    "validate_round_plan",
+]
+
+#: Version of the batched round-plan rng-stream layout.  The batched
+#: step is only allowed to reorder draws **across** independent streams;
+#: within every stream the draw sequence is pinned, and this constant
+#: names the pinned layout so future changes must bump it explicitly:
+#:
+#: v1 — per round, in order:
+#:   * fault stream: one ``churns`` draw, then the ``_churn`` victim
+#:     draw when it fires, then per-transfer loss/duplicate draws in
+#:     transfer order (a planned run may hoist its loss draws into one
+#:     bulk draw only when no abort or duplicate draw can interleave:
+#:     ``feedback is NONE and duplicate_rate == 0``);
+#:   * order stream: one bulk ``integers(n_nodes, size=sources*pushes)``
+#:     draw (== the scalar per-push draws), then one
+#:     ``permutation(n_nodes)``;
+#:   * sampler stream: one target draw per sendable sender in
+#:     permutation order, batched per maximal run of senders that are
+#:     sendable when the run starts (``can_send`` is monotone within a
+#:     node's lifetime — part of the scheme-node contract — so batching
+#:     the draws of an already-sendable run cannot change its
+#:     membership);
+#:   * node streams: untouched — each node's draws happen inside its
+#:     own ``make_packet``/``receive`` calls, whose order the plan
+#:     preserves exactly.
+ROUND_PLAN_VERSION = 1
+
+#: ``batch_rounds="auto"`` switches the batched step on at this overlay
+#: size; below it the scalar loop's per-call overhead is negligible.
+BATCH_AUTO_NODES = 256
+
+
+def validate_round_plan(version: object) -> None:
+    """Raise ``ValueError`` unless *version* names the pinned layout.
+
+    The round-plan "artifact" is an rng-stream layout rather than a
+    JSON payload, so the validator checks the one thing a consumer can
+    carry: the layout version (a bare int, or a mapping with a
+    ``round_plan_version`` key).  Registered in
+    :mod:`repro.analysis.schemas` so the determinism linter ties the
+    constant above to this contract.
+    """
+    if isinstance(version, dict):
+        version = version.get("round_plan_version")
+    if version != ROUND_PLAN_VERSION:
+        raise ValueError(
+            f"round_plan_version != {ROUND_PLAN_VERSION}: got {version!r}"
+        )
 
 
 class Feedback(enum.Enum):
@@ -107,6 +161,13 @@ class EpidemicSimulator:
         records its mergeable telemetry (counters, gauges, histograms)
         into it after the loop finishes.  Recording reads only final
         result state — no rng draws, no OpCounter charges.
+    batch_rounds:
+        ``"off"`` runs the scalar reference loop; ``"on"`` runs the
+        batched round planner (``ROUND_PLAN_VERSION``); ``"auto"``
+        (default) batches at ``n_nodes >= BATCH_AUTO_NODES``.  Both
+        paths are draw-for-draw and result-identical — batching also
+        switches the nodes' gated fast kernels on (``enable_fast_paths``)
+        — pinned by ``tests/test_batch_equivalence.py``.
     """
 
     def __init__(
@@ -127,6 +188,7 @@ class EpidemicSimulator:
         tracer=None,
         profiler: PhaseProfiler | None = None,
         metrics: MetricsCollector | None = None,
+        batch_rounds: str = "auto",
     ) -> None:
         if n_nodes < 2:
             raise SimulationError(f"n_nodes must be >= 2, got {n_nodes}")
@@ -136,6 +198,11 @@ class EpidemicSimulator:
             )
         if n_sources < 1:
             raise SimulationError(f"n_sources must be >= 1, got {n_sources}")
+        if batch_rounds not in ("auto", "on", "off"):
+            raise SimulationError(
+                "batch_rounds must be 'auto', 'on' or 'off', "
+                f"got {batch_rounds!r}"
+            )
         self.coding_scheme = resolve(scheme)
         self.scheme = self.coding_scheme.name
         self.n_nodes = n_nodes
@@ -201,15 +268,49 @@ class EpidemicSimulator:
         self.profiler = profiler
         self.metrics = metrics
         self._trace = bool(self.tracer.enabled)
+        self.batch_rounds = batch_rounds
+        self._batch = batch_rounds == "on" or (
+            batch_rounds == "auto" and n_nodes >= BATCH_AUTO_NODES
+        )
+        # Nodes whose can_send() has been observed True.  Valid as a
+        # cache because can_send is monotone within a node's lifetime
+        # (scheme-node contract); _churn drops the crashed identity.
+        self._sendable: set[int] = set()
         if profiler is not None:
             self._transfer_fn = self._transfer_profiled
-            self._step_fn = self._step_profiled
+            self._step_fn = (
+                self._step_batched_profiled
+                if self._batch
+                else self._step_profiled
+            )
         elif self._trace and self.tracer.detail == "session":
             self._transfer_fn = self._transfer_traced
-            self._step_fn = self.step
+            self._step_fn = self._step_batched if self._batch else self.step
         else:
             self._transfer_fn = self._transfer
-            self._step_fn = self.step
+            self._step_fn = self._step_batched if self._batch else self.step
+        # Hoisting a run's loss draws into one delivers_batch call is
+        # stream-legal only when the scalar path reaches every loses()
+        # call with nothing interleaved: no header aborts (feedback is
+        # NONE) and no duplicate draws; the profiled/traced transfer
+        # variants keep per-draw brackets/events, so only the plain
+        # transfer participates.
+        self._plan_channel = (
+            self._batch
+            and feedback is Feedback.NONE
+            and self.channel.duplicate_rate == 0.0
+            and self._transfer_fn is self._transfer
+        )
+        # When no link can lose, loses() never draws, so the planner
+        # may skip the delivers_batch call outright.
+        self._channel_lossless = self.channel.loss_rate == 0.0 and all(
+            rate == 0.0 for rate in getattr(self.channel, "node_loss", ())
+        )
+        if self._batch:
+            for peer in (*self.sources, *self.nodes):
+                enable = getattr(peer, "enable_fast_paths", None)
+                if enable is not None:
+                    enable()
         self._trace_completed: set[int] = set()
         self._trace_prev = dict.fromkeys(
             (
@@ -419,6 +520,11 @@ class EpidemicSimulator:
             **self._node_kwargs,
         )
         self._data_received[victim] = 0
+        self._sendable.discard(victim)
+        if self._batch:
+            enable = getattr(self.nodes[victim], "enable_fast_paths", None)
+            if enable is not None:
+                enable()
 
     def step(self, round_index: int) -> None:
         """Run one gossip period."""
@@ -481,6 +587,208 @@ class EpidemicSimulator:
             (target,) = sampler_peers(sender_id, 1, round_index)
             prof.add("sampling", perf() - t0)
             transfer(sender, target, round_index)
+        self.result.record_round(round_index)
+
+    def _transfer_planned(
+        self,
+        sender: SchemeNode,
+        receiver_id: int,
+        round_index: int,
+        delivered: bool,
+    ) -> None:
+        """:meth:`_transfer` with the channel outcome drawn up front.
+
+        Only reachable through :meth:`_execute_run` under the
+        ``_plan_channel`` gate (feedback NONE, duplicate_rate 0), so the
+        abort branch and the ``loses``/``duplicates`` draws the scalar
+        transfer would perform are exactly the ones this variant elides:
+        no abort can fire and ``duplicates`` never draws at rate 0.
+        """
+        receiver = self.nodes[receiver_id]
+        result = self.result
+        result.sessions += 1
+        packet = sender.make_packet(None)
+        result.recoded_packets += 1
+        result.data_transfers += 1
+        was_complete = receiver.is_complete()
+        if not was_complete:
+            self._data_received[receiver_id] += 1
+        if not delivered:
+            result.lost_transfers += 1
+            return
+        if receiver.receive(packet):
+            result.useful_transfers += 1
+        else:
+            result.redundant_transfers += 1
+        if not was_complete and receiver.is_complete():
+            self._incomplete.discard(receiver_id)
+            result.completion_rounds[receiver_id] = round_index
+            result.data_until_complete[receiver_id] = self._data_received[
+                receiver_id
+            ]
+
+    def _execute_run(
+        self,
+        senders: list[SchemeNode],
+        receiver_ids: list[int],
+        round_index: int,
+    ) -> None:
+        """Execute one planned run of transfers, in order.
+
+        Under the ``_plan_channel`` gate the run's loss draws are
+        hoisted into one :meth:`ChannelModel.delivers_batch` call (or
+        skipped entirely on a lossless channel); otherwise each transfer
+        draws its own channel outcomes inline, as the scalar loop does.
+        """
+        if self._plan_channel:
+            planned = self._transfer_planned
+            if self._channel_lossless:
+                for sender, receiver_id in zip(senders, receiver_ids):
+                    planned(sender, receiver_id, round_index, True)
+            else:
+                sender_ids = [
+                    int(getattr(sender, "node_id", -1)) for sender in senders
+                ]
+                delivered = self.channel.delivers_batch(
+                    self._fault_rng, sender_ids, receiver_ids
+                )
+                for sender, receiver_id, ok in zip(
+                    senders, receiver_ids, delivered
+                ):
+                    planned(sender, receiver_id, round_index, ok)
+        else:
+            transfer = self._transfer_fn
+            for sender, receiver_id in zip(senders, receiver_ids):
+                transfer(sender, receiver_id, round_index)
+
+    def _step_batched(self, round_index: int) -> None:
+        """One gossip period under the v1 batched round plan.
+
+        Draw-for-draw and result-identical to :meth:`step` — see
+        ``ROUND_PLAN_VERSION`` for the pinned stream layout.  The
+        permutation is executed in segmented maximal runs of senders
+        that are already sendable when the run starts; monotone
+        ``can_send`` guarantees run members would also pass their check
+        at their scalar execution point, and the blocker that ended a
+        run is re-checked after the run's transfers (the scalar
+        ordering) before scanning resumes.
+        """
+        if self.channel.churns(self._fault_rng, round_index):
+            self._churn(round_index)
+        order_rng = self._order_rng
+        n_nodes = self.n_nodes
+        pushes = self.source_pushes
+        targets = order_rng.integers(
+            n_nodes, size=len(self.sources) * pushes
+        ).tolist()
+        self._execute_run(
+            [source for source in self.sources for _ in range(pushes)],
+            targets,
+            round_index,
+        )
+        order = order_rng.permutation(n_nodes).tolist()
+        nodes = self.nodes
+        sendable = self._sendable
+        peers_batch = self.sampler.peers_batch
+        pos = 0
+        while pos < n_nodes:
+            run: list[int] = []
+            while pos < n_nodes:
+                sender_id = order[pos]
+                if sender_id in sendable:
+                    run.append(sender_id)
+                elif nodes[sender_id].can_send():
+                    sendable.add(sender_id)
+                    run.append(sender_id)
+                else:
+                    break
+                pos += 1
+            if run:
+                self._execute_run(
+                    [nodes[sender_id] for sender_id in run],
+                    peers_batch(run, round_index),
+                    round_index,
+                )
+            if pos < n_nodes:
+                # The sender that ended the run: the run's transfers may
+                # have made it sendable, exactly as the scalar loop
+                # would observe at this point in the permutation.
+                sender_id = order[pos]
+                pos += 1
+                sender = nodes[sender_id]
+                if sender.can_send():
+                    sendable.add(sender_id)
+                    self._execute_run(
+                        [sender],
+                        self.sampler.peers(sender_id, 1, round_index),
+                        round_index,
+                    )
+        self.result.record_round(round_index)
+
+    def _step_batched_profiled(self, round_index: int) -> None:
+        """rng-identical duplicate of :meth:`_step_batched` with timing.
+
+        Same bulk draws and run segmentation; ``perf_counter`` brackets
+        charge the fault draw to ``channel`` and the bulk target /
+        permutation / peer draws to ``sampling``.  Transfers go through
+        :meth:`_transfer_profiled` (the ``_plan_channel`` gate excludes
+        profiled runs, so channel draws stay inline and bracketed).
+        """
+        perf = time.perf_counter
+        prof = self.profiler
+        t0 = perf()
+        churns = self.channel.churns(self._fault_rng, round_index)
+        prof.add("channel", perf() - t0)
+        if churns:
+            self._churn(round_index)
+        transfer = self._transfer_fn
+        order_rng = self._order_rng
+        n_nodes = self.n_nodes
+        pushes = self.source_pushes
+        t0 = perf()
+        targets = order_rng.integers(
+            n_nodes, size=len(self.sources) * pushes
+        ).tolist()
+        prof.add("sampling", perf() - t0)
+        t = 0
+        for source in self.sources:
+            for _ in range(pushes):
+                transfer(source, targets[t], round_index)
+                t += 1
+        t0 = perf()
+        order = order_rng.permutation(n_nodes).tolist()
+        prof.add("sampling", perf() - t0)
+        nodes = self.nodes
+        sendable = self._sendable
+        pos = 0
+        while pos < n_nodes:
+            run: list[int] = []
+            while pos < n_nodes:
+                sender_id = order[pos]
+                if sender_id in sendable:
+                    run.append(sender_id)
+                elif nodes[sender_id].can_send():
+                    sendable.add(sender_id)
+                    run.append(sender_id)
+                else:
+                    break
+                pos += 1
+            if run:
+                t0 = perf()
+                run_targets = self.sampler.peers_batch(run, round_index)
+                prof.add("sampling", perf() - t0)
+                for sender_id, target in zip(run, run_targets):
+                    transfer(nodes[sender_id], target, round_index)
+            if pos < n_nodes:
+                sender_id = order[pos]
+                pos += 1
+                sender = nodes[sender_id]
+                if sender.can_send():
+                    sendable.add(sender_id)
+                    t0 = perf()
+                    (target,) = self.sampler.peers(sender_id, 1, round_index)
+                    prof.add("sampling", perf() - t0)
+                    transfer(sender, target, round_index)
         self.result.record_round(round_index)
 
     def _trace_round(self, round_index: int) -> None:

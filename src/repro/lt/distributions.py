@@ -16,6 +16,7 @@ The paper relies on two properties that our benches verify:
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Sequence
 
@@ -59,11 +60,26 @@ class DegreeDistribution:
         self._cdf = np.cumsum(pmf)
         # Guard against floating error at the top of the CDF.
         self._cdf[-1] = 1.0
+        self._cdf_list: list[float] | None = None
 
     # ------------------------------------------------------------------
     def sample(self, rng: np.random.Generator) -> int:
         """Draw one degree."""
         return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+    def sample_fast(self, rng: np.random.Generator) -> int:
+        """Draw one degree — bit-identical to :meth:`sample`.
+
+        ``bisect_right`` over the CDF as a Python list performs the
+        same float64 comparisons as ``np.searchsorted(side="right")``
+        on the same single ``rng.random()`` draw, skipping numpy's
+        per-call dispatch (~10x on scalar draws).  Batched-mode nodes
+        select this variant through ``LtncNode.enable_fast_paths``.
+        """
+        cdf = self._cdf_list
+        if cdf is None:
+            cdf = self._cdf_list = self._cdf.tolist()
+        return bisect.bisect_right(cdf, rng.random())
 
     def sample_many(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Draw *n* degrees at once."""

@@ -209,6 +209,7 @@ class JsonlTracer:
         fh = self._fh
         if fh is None:  # closed: silently drop (run() closes in finally)
             return
+        # ltnc: allow[LTNC007] record key order IS the pinned v1 trace format
         fh.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def event(self, name: str, **attrs: object) -> None:

@@ -23,7 +23,7 @@ import numpy as np
 from repro.coding.packet import EncodedPacket
 from repro.costmodel.counters import OpCounter
 from repro.errors import DimensionError, RecodingError
-from repro.gf2.matrix import IncrementalRref
+from repro.gf2.batch import make_rref
 from repro.rng import make_rng
 
 __all__ = ["default_sparsity", "RlncNode"]
@@ -77,7 +77,10 @@ class RlncNode:
         self.rng = make_rng(rng)
         self.recode_counter = OpCounter()
         self.decode_counter = OpCounter()
-        self.rref = IncrementalRref(
+        # Kernel picked per code length (make_rref): the int kernel for
+        # the paper's default sizes, the numpy multi-row kernel at
+        # paper-scale k — result- and charge-identical either way.
+        self.rref = make_rref(
             k, payload_nbytes=payload_nbytes, counter=self.decode_counter
         )
         self.received: list[EncodedPacket] = []

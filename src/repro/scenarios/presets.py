@@ -62,6 +62,15 @@ One more rides the :mod:`repro.schemes` registry:
     (the registry's "add a scheme without touching the simulator"
     proof; see README "Adding a coding scheme").
 
+And one exercises the batched execution path at scale:
+
+``large_overlay``
+    The N ≫ k scale-out regime: eight times the profile's overlay at
+    half its code length, run under the vectorised round planner
+    (``batch_rounds="on"``).  Results are scalar-identical by contract;
+    the preset exists so goldens and sweeps cover overlay sizes where
+    per-round control flow, not the data plane, dominates.
+
 Add a scenario by writing a ``def my_scenario(profile) -> ScenarioSpec``
 factory and registering it in :data:`PRESETS`; everything downstream
 (CLI, runner, benches, golden tests) picks it up by name.
@@ -94,6 +103,7 @@ __all__ = [
     "edge_cache_catalogue",
     "striped_vod",
     "sparse_rlnc",
+    "large_overlay",
     "get_preset",
     "preset_names",
 ]
@@ -396,6 +406,31 @@ def sparse_rlnc(profile=None) -> ScenarioSpec:
     )
 
 
+def large_overlay(profile=None) -> ScenarioSpec:
+    """The N ≫ k scale-out regime under the batched round planner.
+
+    Eight times the profile's overlay at half its code length — the
+    regime where per-round control flow (sampling, fault draws,
+    delivery ordering) dominates the per-packet data plane — executed
+    with ``batch_rounds="on"`` so the vectorised planner runs whatever
+    the node count.  The scalar path produces bit-identical results by
+    contract (``tests/test_batch_equivalence.py`` pins it); at the
+    paper profile this is an 8,000-node overlay, the scale the batched
+    core exists for.
+    """
+    p = _profile(profile)
+    return ScenarioSpec(
+        name="large_overlay",
+        scheme="ltnc",
+        n_nodes=p.n_nodes * 8,
+        k=max(1, p.k_default // 2),
+        source_pushes=p.source_pushes,
+        max_rounds=p.max_rounds,
+        batch_rounds="on",
+        node_kwargs=dict(_LTNC_NODE_KWARGS),
+    )
+
+
 PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "baseline": baseline,
     "multihop_lossy": multihop_lossy,
@@ -409,6 +444,7 @@ PRESETS: dict[str, Callable[..., ScenarioSpec]] = {
     "edge_cache_catalogue": edge_cache_catalogue,
     "striped_vod": striped_vod,
     "sparse_rlnc": sparse_rlnc,
+    "large_overlay": large_overlay,
 }
 
 #: The graph-structured subset (the ``topo_compare`` sweep's default).

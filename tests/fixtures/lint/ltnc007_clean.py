@@ -1,0 +1,12 @@
+"""LTNC007 clean twin: canonical key order, or an explicit pass-through."""
+
+import json
+
+
+def render(payload):
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def render_with(payload, **kwargs):
+    # Forwarded kwargs own the key-order decision; statically unknowable.
+    return json.dumps(payload, **kwargs)

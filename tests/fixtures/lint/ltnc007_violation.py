@@ -1,0 +1,11 @@
+"""LTNC007 fixture: insertion-ordered JSON serialisation."""
+
+import json
+
+
+def render(payload):
+    return json.dumps(payload)
+
+
+def render_compact(payload):
+    return json.dumps(payload, separators=(",", ":"), sort_keys=False)

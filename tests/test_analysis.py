@@ -101,14 +101,69 @@ def test_standalone_suppression_covers_next_line_only():
 
 
 def test_wrong_code_does_not_suppress():
+    # The finding survives AND the mistargeted allow is itself reported
+    # as unused — LTNC003 never fires on this line.
     src = "import time\nt = time.time()  # ltnc: allow[LTNC003] wrong rule\n"
-    assert codes(src) == ["LTNC002"]
+    assert sorted(codes(src)) == [BAD_SUPPRESSION_CODE, "LTNC002"]
 
 
 def test_reasonless_suppression_reports_and_keeps_finding():
     src = "import time\nt = time.time()  # ltnc: allow[LTNC002]\n"
     got = codes(src)
     assert BAD_SUPPRESSION_CODE in got and "LTNC002" in got
+
+
+def test_unused_suppression_is_reported():
+    src = (
+        "import time\n"
+        "# ltnc: allow[LTNC002] stale: the wall-clock read moved away\n"
+        "t = time.monotonic()\n"
+    )
+    got = lint_source(src, SRC, RULES)
+    assert [f.code for f in got] == [BAD_SUPPRESSION_CODE]
+    assert "unused suppression" in got[0].message
+    assert "LTNC002" in got[0].message
+    assert got[0].line == 2
+
+
+def test_used_suppression_is_not_reported_as_unused():
+    src = (
+        "import time\n"
+        "t = time.time()  # ltnc: allow[LTNC002] host stamp for humans\n"
+    )
+    assert codes(src) == []
+
+
+def test_unused_suppression_not_judged_under_rule_filter():
+    # Linting with only LTNC003 active cannot tell whether the LTNC002
+    # allow is dead — the rule it suppresses never ran.
+    src = (
+        "import time\n"
+        "t = time.monotonic()  # ltnc: allow[LTNC002] host stamp\n"
+    )
+    only_003 = [RULES_BY_CODE["LTNC003"]]
+    assert lint_source(src, SRC, only_003) == []
+    assert [f.code for f in lint_source(src, SRC, RULES)] == [
+        BAD_SUPPRESSION_CODE
+    ]
+
+
+def test_sorted_json_rule_semantics():
+    assert codes("import json\ns = json.dumps({'b': 1})\n") == ["LTNC007"]
+    assert codes(
+        "import json\ns = json.dumps({'b': 1}, sort_keys=False)\n"
+    ) == ["LTNC007"]
+    assert codes(
+        "import json\ns = json.dumps({'b': 1}, sort_keys=True)\n"
+    ) == []
+    # **kwargs pass-throughs are the caller's decision.
+    assert codes(
+        "import json\n"
+        "def to_json(d, **kw):\n"
+        "    return json.dumps(d, **kw)\n"
+    ) == []
+    # json.loads and other json.* calls are out of scope.
+    assert codes("import json\nd = json.loads('{}')\n") == []
 
 
 def test_rules_do_not_apply_outside_src():

@@ -29,6 +29,7 @@ CASES = [
     ("LTNC004", "src/repro/obs/_fixture.py"),
     ("LTNC005", "src/repro/_fixture.py"),
     ("LTNC006", "src/repro/_fixture.py"),
+    ("LTNC007", "src/repro/_fixture.py"),
 ]
 
 

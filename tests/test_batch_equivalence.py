@@ -1,0 +1,100 @@
+"""Batched execution is invisible: scalar ≡ batched, workers 1 ≡ 4.
+
+PR 10's batched round planner and numpy elimination kernel are pure
+execution strategies — the determinism contract says a trial's
+*results* (completion trajectory, metrics, and every OpCounter total)
+are bit-identical whichever path ran it.  This suite pins that
+contract from three directions:
+
+* a hypothesis sweep over simulator configs (feedback modes, loss,
+  duplication, churn) asserting scalar and batched runs serialise to
+  the same JSON — ``DisseminationResult.to_dict`` embeds the recode
+  and decode counter snapshots, so op accounting is covered, not just
+  metrics;
+* the ``large_overlay`` preset (which hard-enables batching) re-run
+  with batching forced off;
+* the batched path under the parallel trial runner: a 1,024-node
+  bounded workload aggregated with 1 worker and with 4 must produce
+  byte-identical aggregate JSON (worker-count invariance does not
+  decay at scale-out sizes).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scale import PROFILES
+from repro.gossip.channel import ChannelModel
+from repro.gossip.simulator import EpidemicSimulator, Feedback
+from repro.scenarios import TrialRunner, get_preset
+
+QUICK = PROFILES["quick"]
+
+
+def _run_json(batch: str, **kw) -> str:
+    result = EpidemicSimulator(batch_rounds=batch, **kw).run()
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=8, max_value=40),
+    k=st.integers(min_value=4, max_value=24),
+    feedback=st.sampled_from([Feedback.NONE, Feedback.BINARY, Feedback.FULL]),
+    loss=st.sampled_from([0.0, 0.1, 0.25]),
+    duplicate=st.sampled_from([0.0, 0.15]),
+    churn=st.sampled_from([0.0, 0.05]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_scalar_and_batched_runs_are_bit_identical(
+    n_nodes, k, feedback, loss, duplicate, churn, seed
+):
+    kw = dict(
+        scheme="ltnc",
+        n_nodes=n_nodes,
+        k=k,
+        feedback=feedback,
+        seed=seed,
+        max_rounds=300,
+        channel=ChannelModel(
+            loss_rate=loss, duplicate_rate=duplicate, churn_rate=churn
+        ),
+    )
+    assert _run_json("off", **kw) == _run_json("on", **kw)
+
+
+def test_large_overlay_preset_is_scalar_identical():
+    spec = get_preset("large_overlay", QUICK)
+    assert spec.batch_rounds == "on"
+    batched = spec.run(seed=2010)
+    scalar = spec.with_(batch_rounds="off").run(seed=2010)
+    assert json.dumps(batched.to_dict(), sort_keys=True) == json.dumps(
+        scalar.to_dict(), sort_keys=True
+    )
+
+
+def test_batch_rounds_is_not_workload_identity():
+    # The execution strategy must not leak into spec serialisation —
+    # checkpoint fingerprints and aggregate JSON hash the spec.
+    spec = get_preset("large_overlay", QUICK)
+    assert spec.to_json() == spec.with_(batch_rounds="off").to_json()
+    assert "batch_rounds" not in spec.to_dict()
+
+
+def test_worker_split_invariance_at_scale_out_size():
+    # N=1024 under the batched planner, rounds bounded so the test
+    # stays in CI budget; the aggregate (metrics, series, counter
+    # snapshots for every trial) must not depend on the worker split.
+    spec = get_preset("large_overlay", QUICK).with_(
+        name="n1024", n_nodes=1024, max_rounds=12
+    )
+    aggs = []
+    for workers in (1, 4):
+        agg = TrialRunner(n_workers=workers).run_grid(
+            [spec], 2, master_seed=2010
+        )["n1024"]
+        aggs.append(agg.to_json())
+    assert aggs[0] == aggs[1]

@@ -18,7 +18,9 @@ from repro.experiments.benchdiff import (
     EXIT_REGRESSION,
     diff_reports,
     extract_rows,
+    history_window,
     latest_pair,
+    trend_diff,
 )
 from repro.experiments.perfbench import run_perfbench
 
@@ -171,6 +173,108 @@ def test_history_tie_break_is_deterministic(tmp_path, report):
     old, new = latest_pair(history)
     assert new.name == "archive-20260103T000000Z.json"
     assert old.name == "bench-20260102T000000Z.rerun.json"
+
+
+def _slowed_all(report, factor):
+    """Scale every extracted rate down by *factor* (uniform drift)."""
+    slow = json.loads(json.dumps(report))
+    for section in slow["microbench"].values():
+        for entry in section.values():
+            for key, value in entry.items():
+                if key.endswith("_per_sec"):
+                    entry[key] = value / factor
+    for entry in slow["end_to_end"].values():
+        entry["rounds_per_sec"] /= factor
+    slow["fleet"]["trials_per_sec"] /= factor
+    for row in slow.get("n_scaling", {}).values():
+        for side in ("scalar", "batched"):
+            if side in row:
+                row[side]["rounds_per_sec"] /= factor
+    return slow
+
+
+# -- trend window --------------------------------------------------------
+def test_trend_diff_catches_drift_pairwise_diffs_miss(report):
+    # Four reports, each step 1.25x slower: every pairwise diff is
+    # inside the 1.5x tolerance, but the cumulative ~1.95x drift trips
+    # the window-median trend.
+    steps = [_slowed_all(report, 1.25**i) for i in range(4)]
+    for old, new in zip(steps, steps[1:]):
+        assert diff_reports(old, new)["n_regressed"] == 0
+    trend = trend_diff(steps)
+    assert trend["window"] == 4
+    assert trend["n_rows"] > 0
+    assert trend["n_regressed"] == trend["n_rows"]  # uniform drift
+    # Median baseline: one slow outlier mid-window does not regress a
+    # healthy newest report.
+    noisy = [report, _slowed_all(report, 4.0), report, report]
+    assert trend_diff(noisy)["n_regressed"] == 0
+    with pytest.raises(ValueError, match="at least two"):
+        trend_diff([report])
+    with pytest.raises(ValueError, match="max_slowdown"):
+        trend_diff(steps, max_slowdown=0.9)
+
+
+def test_history_window_selection(tmp_path, report):
+    history = tmp_path / "history"
+    history.mkdir()
+    names = [f"bench-2026010{d}T000000Z.json" for d in range(1, 5)]
+    for name in names:
+        _write(history / name, report)
+    assert [p.name for p in history_window(history, 3)] == names[-3:]
+    # Oversized window: early trajectories use all available history.
+    assert [p.name for p in history_window(history, 99)] == names
+    with pytest.raises(ValueError, match="window"):
+        history_window(history, 1)
+    solo = tmp_path / "solo"
+    solo.mkdir()
+    _write(solo / "bench-1.json", report)
+    with pytest.raises(ValueError, match="at least two"):
+        history_window(solo, 3)
+
+
+def test_cli_window_mode_flags_trend_drift(tmp_path, report, capsys):
+    history = tmp_path / "history"
+    history.mkdir()
+    for i in range(4):
+        _write(
+            history / f"bench-2026010{i + 1}T000000Z.json",
+            _slowed_all(report, 1.25**i),
+        )
+    # The latest pair alone is clean...
+    assert benchdiff.main(["--history", str(history)]) == EXIT_OK
+    capsys.readouterr()
+    # ...but the 4-report window catches the drift.
+    out_json = tmp_path / "diff.json"
+    assert (
+        benchdiff.main(
+            ["--history", str(history), "--window", "4", "--json", str(out_json)]
+        )
+        == EXIT_REGRESSION
+    )
+    out = capsys.readouterr().out
+    assert "trend over last 4 reports" in out and "DRIFTED" in out
+    payload = json.loads(out_json.read_text())
+    assert payload["trend"]["suite"] == "ltnc-benchdiff-trend"
+    assert payload["trend"]["n_regressed"] > 0
+    # warn-only: same annotations, exit 0.
+    assert (
+        benchdiff.main(
+            ["--history", str(history), "--window", "4", "--warn-only"]
+        )
+        == EXIT_OK
+    )
+    assert "::warning::bench trend drift" in capsys.readouterr().out
+
+
+def test_cli_window_argument_validation(tmp_path, report, capsys):
+    old = _write(tmp_path / "old.json", report)
+    with pytest.raises(SystemExit):
+        benchdiff.main([old, old, "--window", "3"])  # needs --history
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        benchdiff.main(["--history", str(tmp_path), "--window", "1"])
+    capsys.readouterr()
 
 
 def test_cli_argument_validation(tmp_path, report, capsys):

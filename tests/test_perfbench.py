@@ -87,13 +87,22 @@ def test_run_perfbench_quick_schema_and_validation(tmp_path):
         profile="quick", seed=7, ks=(16, 32), schemes=("wc", "rlnc")
     )
     validate_bench(report)
-    assert report["schema_version"] == SCHEMA_VERSION == 4
+    assert report["schema_version"] == SCHEMA_VERSION == 5
     assert set(report["end_to_end"]) == {"wc", "rlnc"}
-    assert set(report["phases"]) == {"wc", "rlnc"}
+    assert set(report["phases"]) == {"wc", "rlnc", "ltnc_batched"}
     entry = report["microbench"]["rref_insert_reduce"]["k=32"]
     assert {"ops_per_sec", "baseline_ops_per_sec", "speedup_vs_baseline"} <= set(
         entry
     )
+    # v5: scalar-vs-batched N-scaling rows and the numpy-kernel bench.
+    for label, row in report["n_scaling"].items():
+        assert row["batched"]["rounds_per_sec"] > 0, label
+        assert row["speedup_batched_vs_scalar"] > 0, label
+        assert row["scalar"]["rounds"] == row["batched"]["rounds"], label
+    for label, row in report["microbench"]["kernel_batch"].items():
+        assert row["numpy_ops_per_sec"] > 0, label
+        assert row["int_ops_per_sec"] > 0, label
+        assert row["block_ops_per_sec"] > 0, label
     # Round-trips through JSON (the artifact contract).
     path = tmp_path / "bench.json"
     path.write_text(json.dumps(report))
@@ -149,8 +158,44 @@ def test_validate_bench_rejects_broken_reports():
     bad_counter["fleet"]["telemetry"]["counters"]["rounds"] = -1
     with pytest.raises(ValueError, match="negative/non-int"):
         validate_bench(bad_counter)
+    no_scaling = json.loads(json.dumps(report))
+    del no_scaling["n_scaling"]
+    with pytest.raises(ValueError, match="n_scaling section missing"):
+        validate_bench(no_scaling)
+    slow_batch = json.loads(json.dumps(report))
+    next(iter(slow_batch["n_scaling"].values()))["batched"][
+        "rounds_per_sec"
+    ] = 0
+    with pytest.raises(ValueError, match="batched.rounds_per_sec"):
+        validate_bench(slow_batch)
+    no_batched_phases = json.loads(json.dumps(report))
+    del no_batched_phases["phases"]["ltnc_batched"]
+    with pytest.raises(ValueError, match="ltnc_batched missing"):
+        validate_bench(no_batched_phases)
     with pytest.raises(ValueError, match="unknown profile"):
         run_perfbench(profile="nope")
+
+
+def test_validate_bench_accepts_v4_history_reports():
+    # The checked-in trajectory predates v5; those files must keep
+    # validating without the v5-only sections.
+    report = run_perfbench(
+        profile="quick",
+        seed=7,
+        ks=(16,),
+        schemes=("wc",),
+        include_baseline=False,
+    )
+    v4 = json.loads(json.dumps(report))
+    v4["schema_version"] = 4
+    del v4["n_scaling"]
+    del v4["microbench"]["kernel_batch"]
+    del v4["phases"]["ltnc_batched"]
+    validate_bench(v4)
+    v3 = json.loads(json.dumps(v4))
+    v3["schema_version"] = 3
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_bench(v3)
 
 
 def test_cli_writes_validated_json(tmp_path, capsys):

@@ -121,6 +121,7 @@ def test_preset_catalogue():
         "churn",
         "edge_cache",
         "edge_cache_catalogue",
+        "large_overlay",
         "multihop_lossy",
         "powerline_multihop",
         "scalefree_p2p",
@@ -138,8 +139,14 @@ def test_preset_catalogue():
 def test_presets_scale_with_profile(name):
     spec = get_preset(name, QUICK)
     assert spec.name == name
-    assert spec.n_nodes == QUICK.n_nodes
-    assert spec.k == QUICK.k_default
+    if name == "large_overlay":
+        # The scale-out preset: N >> k relative to the profile.
+        assert spec.n_nodes == QUICK.n_nodes * 8
+        assert spec.k == QUICK.k_default // 2
+        assert spec.batch_rounds == "on"
+    else:
+        assert spec.n_nodes == QUICK.n_nodes
+        assert spec.k == QUICK.k_default
 
 
 @pytest.mark.parametrize(

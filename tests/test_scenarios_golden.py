@@ -32,6 +32,7 @@ GOLDEN = {
     "edge_cache_catalogue": {"rounds": 169.00, "average_completion_round": 96.08, "overhead": 0.9948},
     "striped_vod": {"rounds": 286.67, "average_completion_round": 177.65, "overhead": 1.0616},
     "sparse_rlnc": {"rounds": 73.00, "average_completion_round": 45.97, "overhead": 0.0},
+    "large_overlay": {"rounds": 77.67, "average_completion_round": 43.48, "overhead": 1.1806},
 }
 
 
